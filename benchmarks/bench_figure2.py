@@ -1,0 +1,30 @@
+"""Bench F2 — regenerate Figure 2 (rank distribution vs CPM).
+
+Paper reference: higher CPM does not buy more popular inventory — the
+0.01 EUR Russia campaign concentrates ~89 % of impressions in the Alexa
+top 50K while the 0.30 EUR campaign reaches only ~68 %.
+"""
+
+from repro.experiments import figures
+
+
+def test_figure2_benchmark(benchmark, paper_result, bench_output):
+    figure = benchmark(figures.figure2, paper_result)
+    text = figure.render()
+    bench_output("figure2.txt", text)
+    print("\n" + text)
+
+    assert len(figure.distributions) == 5
+    by_id = {d.campaign_id: d for d in figure.distributions}
+    cheap = by_id["Russia"]                  # 0.01 EUR
+    expensive = by_id["Football-030"]        # 0.30 EUR, 30x the investment
+    # The 30x-more-expensive campaign is NOT more concentrated in the
+    # popular buckets — the paper's counter-intuitive headline.  The
+    # publisher series carries the robust inversion at every world scale;
+    # the impression series holds strictly at the paper-scale reference
+    # run (0.976 vs 0.900 at top-100K, see EXPERIMENTS.md) and within a
+    # small tolerance at reduced bench scales.
+    assert cheap.cumulative_to(10_000, "publishers") > \
+        expensive.cumulative_to(10_000, "publishers")
+    assert cheap.cumulative_to(100_000) >= \
+        expensive.cumulative_to(100_000) - 0.05

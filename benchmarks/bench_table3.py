@@ -1,0 +1,27 @@
+"""Bench T3 — regenerate Table 3 (viewability upper bound).
+
+Paper reference: 52-85 % of impressions exposed >= 1 s, with the two
+Football campaigns clearly on top (79.9 % / 82.8 %) and Research around
+52-56 % — targeted context modulates viewability.
+"""
+
+from repro.experiments import tables
+
+
+def _pct(cell) -> float:
+    return float(str(cell).split()[0])
+
+
+def test_table3_benchmark(benchmark, paper_result, bench_output):
+    headers, rows = benchmark(tables.table3, paper_result)
+    text = tables.render_table3(paper_result)
+    bench_output("table3.txt", text)
+    print("\n" + text)
+
+    values = {row[0]: _pct(row[1]) for row in rows}
+    # Everything inside the paper's (wide) band.
+    assert all(40.0 < value < 95.0 for value in values.values())
+    # Football on top of Research, as in the paper.
+    football = (values["Football-010"] + values["Football-030"]) / 2
+    research = (values["Research-010"] + values["Research-020"]) / 2
+    assert football > research + 5.0

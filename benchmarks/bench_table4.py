@@ -1,0 +1,31 @@
+"""Bench T4 — regenerate Table 4 (data-center traffic statistics).
+
+Paper reference: every campaign delivered impressions to data-center IPs;
+the Football campaigns peak around 8.6-11 % of impressions and ~23 % of
+publishers, while Russia/USA/General stay under ~1 %.
+"""
+
+from repro.experiments import tables
+
+
+def _pct(cell) -> float:
+    return float(str(cell).split()[0])
+
+
+def test_table4_benchmark(benchmark, paper_result, bench_output):
+    headers, rows = benchmark(tables.table4, paper_result)
+    text = tables.render_table4(paper_result)
+    bench_output("table4.txt", text)
+    print("\n" + text)
+
+    values = {row[0]: [_pct(row[1]), _pct(row[2]), _pct(row[3])]
+              for row in rows}
+    # Football campaigns are the most exposed, in the paper's ~5-20 % band.
+    for campaign in ("Football-010", "Football-030"):
+        assert 3.0 < values[campaign][1] < 25.0
+    # The quiet campaigns stay far below the Football ones.
+    for campaign in ("General-005", "General-010"):
+        assert values[campaign][1] < values["Football-030"][1]
+    # Publisher exposure exceeds impression share for Football (many
+    # publishers see a little bot traffic each), as in the paper.
+    assert values["Football-030"][2] > values["Football-030"][1]

@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+All table/figure benchmarks consume one memoised experiment run (the
+expensive part); each benchmark then times the analysis that regenerates
+its table or figure and writes the rendered rows to
+``benchmarks/output/`` so runs can be diffed against the paper and
+against each other.
+
+``REPRO_BENCH_SCALE`` (default 0.08) sizes the world; set it to 1.0 to
+regenerate the paper-scale numbers recorded in EXPERIMENTS.md.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import run_paper_experiment
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.12"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2016"))
+
+_OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def paper_result():
+    """The shared experiment run every benchmark analyses."""
+    return run_paper_experiment(seed=BENCH_SEED, scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def bench_output():
+    """Writer for rendered tables/figures (benchmarks/output/*.txt)."""
+    _OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = _OUTPUT_DIR / name
+        path.write_text(text + "\n", encoding="utf-8")
+
+    return write

@@ -1,0 +1,122 @@
+"""Wire-level demo: watch one beacon report travel to the collector.
+
+Shows the actual bytes of the paper's collection pipeline — the HTTP
+upgrade handshake, the masked RFC 6455 frames carrying the HELLO string
+and interaction events, and the server-side record that results, with the
+exposure time measured as connection duration.
+
+Run with:  python examples/beacon_wire_demo.py
+"""
+
+import random
+
+from repro.beacon.events import (
+    BeaconObservation,
+    InteractionEvent,
+    InteractionKind,
+)
+from repro.collector.payload import encode_hello, encode_interaction
+from repro.collector.server import CollectorServer
+from repro.collector.store import ImpressionStore
+from repro.net.transport import Endpoint, NetworkConditions, SimulatedNetwork
+from repro.net.websocket import (
+    Frame,
+    Opcode,
+    encode_frame,
+    make_client_key,
+    make_handshake_request,
+)
+from repro.util.simclock import SimClock
+
+
+def hexdump(data: bytes, limit: int = 64) -> str:
+    shown = data[:limit]
+    body = " ".join(f"{byte:02x}" for byte in shown)
+    suffix = f" ... (+{len(data) - limit} bytes)" if len(data) > limit else ""
+    return body + suffix
+
+
+def main() -> None:
+    clock = SimClock.at_utc(2016, 4, 2)
+    store = ImpressionStore()
+    network = SimulatedNetwork(clock, random.Random(1),
+                               NetworkConditions(connect_failure_rate=0.0,
+                                                 mid_stream_failure_rate=0.0))
+    collector = CollectorServer(store)
+    collector.attach(network)
+
+    observation = BeaconObservation(
+        campaign_id="Football-010",
+        creative_id="Football-010-creative",
+        page_url="http://futbol123.es/football/article-77.html",
+        user_agent="Mozilla/5.0 (X11; Linux x86_64) ... Chrome/49.0.2623.87",
+        interactions=(
+            InteractionEvent(InteractionKind.MOUSE_MOVE, 1.2),
+            InteractionEvent(InteractionKind.CLICK, 3.4),
+        ),
+        exposure_seconds=6.5,
+    )
+
+    # 1. The device opens a TCP connection to the collector.
+    client = Endpoint(ip="2.0.0.42", port=51515)
+    connection = network.connect(client, collector.endpoint,
+                                 at_time=clock.now())
+    now = connection.opened_at_server
+    print(f"connection #{connection.connection_id} "
+          f"{connection.client} -> {connection.server}, "
+          f"opened at server time {connection.opened_at_server:.3f}")
+
+    # 2. The WebSocket upgrade handshake.
+    rng = random.Random(2)
+    key = make_client_key(rng)
+    request = make_handshake_request(collector.endpoint.ip, "/beacon", key,
+                                     origin=observation.page_url)
+    print("\n-- client handshake request " + "-" * 30)
+    print(request.decode("ascii").rstrip())
+    connection.client_send(request, now)
+    collector.process(connection)
+    print("\n-- server response " + "-" * 39)
+    print(connection.drain_client_inbox().decode("ascii").rstrip())
+
+    # 3. The HELLO frame (masked, as RFC 6455 requires of clients).
+    hello_text = encode_hello(observation)
+    hello_frame = encode_frame(Frame(Opcode.TEXT, hello_text.encode("utf-8"),
+                                     masked=True), rng=rng)
+    print("\n-- HELLO payload " + "-" * 41)
+    print(hello_text)
+    print("-- on the wire (masked):")
+    print(hexdump(hello_frame))
+    connection.client_send(hello_frame, now)
+    collector.process(connection)
+
+    # 4. Interaction events at their offsets.
+    for event in observation.interactions:
+        text = encode_interaction(event)
+        frame = encode_frame(Frame(Opcode.TEXT, text.encode("utf-8"),
+                                   masked=True), rng=rng)
+        event_time = now + event.offset_seconds
+        connection.client_send(frame, event_time)
+        collector.process(connection)
+        print(f"\nEVT at +{event.offset_seconds:.1f}s: {text}")
+        print("wire:", hexdump(frame, limit=32))
+
+    # 5. Page unload: CLOSE frame + teardown; the server measures duration.
+    close_time = now + observation.exposure_seconds
+    connection.client_send(encode_frame(Frame(Opcode.CLOSE, b"", masked=True),
+                                        rng=rng), close_time)
+    connection.close(close_time)
+    record = collector.finalize(connection)
+
+    print("\n-- committed impression record " + "-" * 27)
+    print(f"record_id        = {record.record_id}")
+    print(f"campaign_id      = {record.campaign_id}")
+    print(f"publisher domain = {record.domain}")
+    print(f"ip (pre-enrich)  = {record.ip}")
+    print(f"timestamp        = {record.timestamp:.3f}  (server clock)")
+    print(f"exposure_seconds = {record.exposure_seconds:.3f}  "
+          "(connection duration)")
+    print(f"mouse_moves      = {record.mouse_moves}, clicks = {record.clicks}")
+
+
+if __name__ == "__main__":
+    main()

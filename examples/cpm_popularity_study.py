@@ -1,0 +1,119 @@
+"""Does paying a higher CPM buy more popular publishers?  (Figure 2)
+
+Sweeps custom campaigns across CPM levels in two markets (Spain and
+Russia), runs each through the pipeline, and tabulates where their
+impressions landed on the Alexa-style ranking — reproducing the paper's
+counter-intuitive finding that a 30x CPM increase does not move a campaign
+up-market, while market choice does.
+
+Run with:  python examples/cpm_popularity_study.py
+"""
+
+from repro.adnetwork import AdServer, CampaignSpec, MatchEngine
+from repro.adnetwork.inventory import ExternalDemand
+from repro.audit import AuditDataset, PopularityAudit
+from repro.adnetwork.reporting import VendorReporter
+from repro.beacon import BeaconScript
+from repro.beacon.client import BeaconClient
+from repro.collector import CollectorServer, Enricher, ImpressionStore
+from repro.geo import DataCenterResolver, DenyList, GeoIpDatabase, ProviderRegistry
+from repro.net.transport import SimulatedNetwork
+from repro.taxonomy import build_default_lexicon
+from repro.util import RngFactory, SimClock
+from repro.util.tables import render_table
+from repro.web import (
+    BrowsingSimulator,
+    PopulationConfig,
+    PublisherUniverse,
+    UniverseConfig,
+    UserPopulation,
+)
+
+CPM_SWEEP = (
+    ("sweep-ES-001", 0.01, "ES"),
+    ("sweep-ES-010", 0.10, "ES"),
+    ("sweep-ES-030", 0.30, "ES"),
+    ("sweep-RU-001", 0.01, "RU"),
+)
+
+
+def main() -> None:
+    rngs = RngFactory(seed=42)
+    lexicon = build_default_lexicon()
+    universe = PublisherUniverse(rngs.stream("publishers"),
+                                 UniverseConfig(publisher_count=2_500),
+                                 lexicon=lexicon)
+    registry = ProviderRegistry(rngs.stream("providers"))
+    population = UserPopulation(rngs.stream("users"), registry, lexicon.tree,
+                                config=PopulationConfig(users_per_country=500))
+
+    start, end = CampaignSpec.flight(2016, 4, 2, 4, 3)
+    campaigns = [
+        CampaignSpec(campaign_id=cid, keywords=("news",), cpm_eur=cpm,
+                     target_countries=(country,), start_unix=start,
+                     end_unix=end, daily_budget_eur=0.05 * max(cpm, 0.02))
+        for cid, cpm, country in CPM_SWEEP
+    ]
+
+    ipdb = GeoIpDatabase(registry)
+    server = AdServer(campaigns, MatchEngine(lexicon), ExternalDemand(), ipdb)
+    clock = SimClock(start)
+    network = SimulatedNetwork(clock, rngs.stream("network"))
+    store = ImpressionStore()
+    collector = CollectorServer(store)
+    collector.attach(network)
+    client = BeaconClient(network, collector, clock, rngs.stream("beacon"))
+    script = BeaconScript()
+    browsing = BrowsingSimulator(universe, lexicon.tree)
+
+    humans = population.in_country("ES") + population.in_country("RU")
+    serve_rng, script_rng = rngs.stream("serve"), rngs.stream("script")
+    for pageview in browsing.stream(humans, [], start, end,
+                                    rngs.stream("browse")):
+        impression = server.serve(pageview, serve_rng)
+        if impression is None:
+            continue
+        observation = script.observe(impression, script_rng)
+        if observation is not None:
+            client.deliver(impression, observation)
+
+    resolver = DataCenterResolver(ipdb, DenyList.from_registry(registry))
+    Enricher(ipdb, resolver, universe.ranking).enrich_store(store)
+    reporter = VendorReporter()
+    dataset = AuditDataset(
+        store=store,
+        campaigns={campaign.campaign_id: campaign for campaign in campaigns},
+        vendor_reports={campaign.campaign_id: reporter.report(
+            campaign.campaign_id,
+            server.impressions_for(campaign.campaign_id))
+            for campaign in campaigns},
+        directory={publisher.domain: publisher
+                   for publisher in universe.publishers},
+        lexicon=lexicon,
+        ranking=universe.ranking,
+    )
+
+    audit = PopularityAudit(dataset)
+    rows = []
+    for cid, cpm, country in CPM_SWEEP:
+        records = dataset.records(cid)
+        if not records:
+            rows.append([cid, f"{cpm:.2f}", country, 0, "-", "-"])
+            continue
+        publishers, impressions = audit.top_concentration(cid, 100_000)
+        rows.append([cid, f"{cpm:.2f}", country, len(records),
+                     f"{publishers:.1%}", f"{impressions:.1%}"])
+    print(render_table(
+        ["Campaign", "CPM EUR", "Market", "Impressions",
+         "Publishers in top 100K", "Impressions in top 100K"],
+        rows, title="CPM vs popularity (paper Figure 2's question)"))
+    print()
+    print("Reading: CPM means little without market context — the 0.01 EUR "
+          "bid is priced\nout of Spain's premium floors, yet the identical "
+          "bid tops the Russian market\nand reaches its most popular "
+          "publishers, matching the paper's observation that\nhigher "
+          "investment does not reliably buy popularity.")
+
+
+if __name__ == "__main__":
+    main()

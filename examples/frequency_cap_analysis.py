@@ -1,0 +1,65 @@
+"""Frequency capping: how often does one user see the same ad?
+
+Reproduces the paper's Figure 3 analysis — users identified as
+(IP, User-Agent) pairs, impressions of one ad counted per user, median
+inter-arrival times — and then asks the advertiser's follow-up question:
+how many impressions would a sensible default cap have saved?
+
+Run with:  python examples/frequency_cap_analysis.py  [scale]
+"""
+
+import sys
+
+from repro import ExperimentRunner, paper_experiment
+from repro.audit import FrequencyAudit
+from repro.util.tables import render_table
+
+
+def main(scale: float = 0.05) -> None:
+    print(f"Running the 8-campaign study at scale {scale} ...")
+    result = ExperimentRunner(paper_experiment(scale=scale)).run()
+    audit = FrequencyAudit(result.dataset)
+
+    summary = audit.summary(None)
+    print()
+    print(f"(user, ad) pairs observed:        {summary.total_users}")
+    print(f"users with >10 impressions:       {summary.users_over_10}")
+    print(f"users with >100 impressions:      {summary.users_over_100}")
+    print(f"max impressions for one user:     {summary.max_impressions_single_user}")
+    print(f"heavy users w/ median gap < 60 s: {summary.users_median_under_60s}")
+    print(f"users w/ some gap < 20 s:         {summary.users_min_under_20s}")
+
+    # The worst offenders, Figure 3's upper-left corner.
+    points = sorted(audit.user_frequencies(None),
+                    key=lambda p: p.impressions, reverse=True)
+    rows = []
+    for point in points[:10]:
+        rows.append([point.campaign_id, point.impressions,
+                     f"{point.median_interarrival_seconds:.0f}"
+                     if point.median_interarrival_seconds else "-",
+                     f"{point.min_interarrival_seconds:.0f}"
+                     if point.min_interarrival_seconds else "-"])
+    print()
+    print(render_table(
+        ["Campaign", "Impressions to one user", "Median gap (s)",
+         "Min gap (s)"],
+        rows, title="Heaviest receivers (Figure 3 extremes)"))
+
+    # What would a default cap have saved?
+    total = len(result.dataset.store)
+    rows = []
+    for cap in (1, 3, 5, 10, 20):
+        saved = audit.would_suppress(cap, None)
+        rows.append([cap, saved, f"{saved / total:.1%}"])
+    print()
+    print(render_table(
+        ["Cap", "Impressions suppressed", "Share of spend"],
+        rows, title="Savings under a default per-user frequency cap"))
+    print()
+    print("The vendor applies no default cap; the literature (Microsoft "
+          "Advertising Institute, 2009)\nfinds no conversion benefit beyond "
+          "10 impressions per user.")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.05)

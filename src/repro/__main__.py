@@ -1,0 +1,105 @@
+"""Command-line entry point: ``python -m repro``.
+
+Runs the paper's 8-campaign experiment at a chosen world scale and prints
+the requested artifacts — the full audit report by default, or any subset
+of the paper's tables and figures.
+
+Examples::
+
+    python -m repro                         # full audit, 5 % world
+    python -m repro --scale 0.12 --table 2 --table 4
+    python -m repro --figure 1 --figure 3 --seed 7
+    python -m repro --dump-dataset impressions.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.audit import full_audit
+from repro.experiments import figures, tables
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.config import paper_experiment
+
+_TABLES = {
+    1: tables.render_table1,
+    2: tables.render_table2,
+    3: tables.render_table3,
+    4: tables.render_table4,
+}
+
+_FIGURES = {
+    1: lambda result: figures.figure1(result).render(),
+    2: lambda result: figures.figure2(result).render(),
+    3: lambda result: figures.figure3(result).render(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the HotNets'16 ad-campaign auditing study "
+                    "(simulated) and print its tables/figures.")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="world scale, 1.0 = paper scale (default 0.05)")
+    parser.add_argument("--seed", type=int, default=2016,
+                        help="master seed (default 2016)")
+    parser.add_argument("--table", type=int, action="append", choices=[1, 2, 3, 4],
+                        default=None, metavar="N",
+                        help="print Table N (repeatable)")
+    parser.add_argument("--figure", type=int, action="append", choices=[1, 2, 3],
+                        default=None, metavar="N",
+                        help="print Figure N (repeatable)")
+    parser.add_argument("--dump-dataset", metavar="PATH", default=None,
+                        help="write the collected impression dataset "
+                             "(anonymised) as JSONL")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the full audit as JSON")
+    parser.add_argument("--csv", metavar="PATH", default=None,
+                        help="write the per-campaign audit summary as CSV")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    print(f"Running the 8-campaign study (seed={args.seed}, "
+          f"scale={args.scale}) ...", file=sys.stderr)
+    result = ExperimentRunner(
+        paper_experiment(seed=args.seed, scale=args.scale)).run()
+    print(f"pageviews={result.stats['pageviews']} "
+          f"delivered={result.stats['delivered']} "
+          f"logged={result.stats['logged']}", file=sys.stderr)
+
+    sections: list[str] = []
+    for number in args.table or ():
+        sections.append(_TABLES[number](result))
+    for number in args.figure or ():
+        sections.append(_FIGURES[number](result))
+    if not sections:
+        sections.append(full_audit(result.dataset).render())
+    print("\n\n".join(sections))
+
+    if args.dump_dataset:
+        count = result.dataset.store.dump_jsonl(args.dump_dataset)
+        print(f"wrote {count} impression records to {args.dump_dataset}",
+              file=sys.stderr)
+    if args.json or args.csv:
+        from pathlib import Path
+
+        from repro.audit.export import report_to_csv, report_to_json
+
+        report = full_audit(result.dataset)
+        if args.json:
+            Path(args.json).write_text(report_to_json(report),
+                                       encoding="utf-8")
+            print(f"wrote audit JSON to {args.json}", file=sys.stderr)
+        if args.csv:
+            Path(args.csv).write_text(report_to_csv(report),
+                                      encoding="utf-8")
+            print(f"wrote audit CSV to {args.csv}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,115 @@
+"""Post-click outcomes: landings and conversions.
+
+The paper leaves conversion analysis as future work; this module
+implements it.  A click on the creative opens the advertiser's landing
+page; a fraction of *human* visitors convert (book the seat, buy the
+product) after some deliberation, while click-fraud bots click and vanish
+— which is exactly the asymmetry the conversion audit later exploits.
+
+Conversions are first-party data: the advertiser's own site records them,
+no vendor or beacon is involved.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.adnetwork.server import DeliveredImpression
+from repro.util.hashing import anonymize_ip
+
+
+@dataclass(frozen=True)
+class ConversionEvent:
+    """One conversion recorded on the advertiser's site.
+
+    Carries the visitor's raw IP/UA until :meth:`anonymized` is applied
+    with the same salt the impression dataset uses, after which the
+    ``ip_token`` links conversions to beacon-logged users.
+    """
+
+    campaign_id: str
+    timestamp: float
+    ip: str
+    user_agent: str
+    value_eur: float
+    ip_token: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.campaign_id:
+            raise ValueError("campaign_id must be non-empty")
+        if self.value_eur <= 0:
+            raise ValueError("value_eur must be positive")
+        if not self.ip and not self.ip_token:
+            raise ValueError("conversion needs an IP or a token")
+
+    @property
+    def user_key(self) -> str:
+        """Same identity scheme as the impression store: IP ⊕ User-Agent."""
+        return f"{self.ip_token or self.ip}\x1f{self.user_agent}"
+
+    def anonymized(self, salt: str) -> "ConversionEvent":
+        """Replace the raw IP with its salted token (idempotent)."""
+        if self.ip_token:
+            return self
+        return replace(self, ip_token=anonymize_ip(self.ip, salt=salt),
+                       ip="")
+
+
+@dataclass(frozen=True)
+class ConversionConfig:
+    """Behavioural knobs of the landing funnel."""
+
+    human_conversion_rate: float = 0.05
+    bot_conversion_rate: float = 0.0
+    deliberation_min_seconds: float = 40.0
+    deliberation_max_seconds: float = 900.0
+    order_value_min_eur: float = 9.0
+    order_value_max_eur: float = 240.0
+
+    def __post_init__(self) -> None:
+        for name in ("human_conversion_rate", "bot_conversion_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1]")
+        if not 0 < self.deliberation_min_seconds <= self.deliberation_max_seconds:
+            raise ValueError("invalid deliberation range")
+        if not 0 < self.order_value_min_eur <= self.order_value_max_eur:
+            raise ValueError("invalid order-value range")
+
+
+class ConversionSimulator:
+    """Samples conversions from clicked impressions."""
+
+    def __init__(self, config: ConversionConfig | None = None) -> None:
+        self.config = config or ConversionConfig()
+        self.clicks_seen = 0
+        self.conversions = 0
+
+    def simulate(self, impression: DeliveredImpression, clicks: int,
+                 rng: random.Random) -> Optional[ConversionEvent]:
+        """At most one conversion per clicked impression.
+
+        *clicks* is what the beacon observed on the creative; zero clicks
+        can never convert (display attribution here is click-through only).
+        """
+        if clicks <= 0:
+            return None
+        self.clicks_seen += 1
+        config = self.config
+        rate = config.bot_conversion_rate if impression.pageview.is_bot \
+            else config.human_conversion_rate
+        if rng.random() >= rate:
+            return None
+        self.conversions += 1
+        deliberation = rng.uniform(config.deliberation_min_seconds,
+                                   config.deliberation_max_seconds)
+        return ConversionEvent(
+            campaign_id=impression.campaign.campaign_id,
+            timestamp=impression.pageview.timestamp + deliberation,
+            ip=impression.pageview.ip,
+            user_agent=impression.pageview.user_agent,
+            value_eur=round(rng.uniform(config.order_value_min_eur,
+                                        config.order_value_max_eur), 2),
+        )

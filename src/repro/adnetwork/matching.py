@@ -1,0 +1,159 @@
+"""The network's targeting engine.
+
+AdWords' support pages say keyword campaigns follow a *contextual*
+strategy, but "may use other factors to determine if a publisher is
+contextually relevant ... such as the recent browsing history of a user"
+(paper §4.2, reference [1]).  This module models exactly that undisclosed
+behaviour:
+
+* ``CONTEXTUAL`` — the network's own page classifier relates the publisher
+  to the campaign keywords.  Deliberately *broader* than the auditor's
+  criterion: any publisher topic within the same vertical counts.
+* ``BEHAVIOURAL`` — the visitor's recent interests match the campaign; the
+  network still files the impression under its contextual strategy.
+* ``BROAD`` — remnant/run-of-network extension when spend pressure exists;
+  never claimed as contextual.
+
+The *auditor's* stricter criterion (literal keyword match or LCH-similar
+topics) lives in :mod:`repro.audit.context`; the gap between these two
+judgments is Table 2.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from repro.adnetwork.campaign import CampaignSpec
+from repro.taxonomy.lexicon import Lexicon
+from repro.taxonomy.tree import TaxonomyTree
+from repro.web.publisher import Publisher
+
+
+class MatchReason(enum.Enum):
+    """Why the network considered a campaign eligible for a pageview."""
+
+    CONTEXTUAL = "contextual"
+    BEHAVIOURAL = "behavioural"
+    BROAD = "broad"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class MatchDecision:
+    """Eligibility verdict for (campaign, pageview)."""
+
+    eligible: bool
+    reason: MatchReason
+
+    @property
+    def claimed_contextual(self) -> bool:
+        """Would the vendor's report call this a contextual placement?
+
+        Behavioural placements are *also* claimed: the network files
+        recent-browsing-history matches under its contextual strategy —
+        the non-disclosed criterion the paper highlights.
+        """
+        return self.reason in (MatchReason.CONTEXTUAL, MatchReason.BEHAVIOURAL)
+
+
+class MatchEngine:
+    """Eligibility decisions for every (campaign, pageview) pair.
+
+    Parameters
+    ----------
+    broad_match_rate:
+        Probability that an otherwise-unmatched pageview is still eligible
+        through run-of-network extension.  This is what lets low-inventory
+        campaigns (research keywords in Spain) spend their budget at all —
+        and why so few of their impressions are contextually meaningful.
+    vertical_radius_edges:
+        How far (in taxonomy edges) the network's page classifier is willing
+        to stretch a "contextual" call.  The default of 2 admits any topic
+        in the same sub-vertical, which is looser than the auditor's
+        criterion and inflates the vendor-reported numbers of Table 2.
+    """
+
+    def __init__(self, lexicon: Lexicon, broad_match_rate: float = 0.02,
+                 behavioural_rate: float = 0.5,
+                 vertical_radius_edges: int = 1) -> None:
+        if not 0.0 <= broad_match_rate <= 1.0:
+            raise ValueError("broad_match_rate must be within [0, 1]")
+        if not 0.0 <= behavioural_rate <= 1.0:
+            raise ValueError("behavioural_rate must be within [0, 1]")
+        if vertical_radius_edges < 0:
+            raise ValueError("vertical_radius_edges must be non-negative")
+        self.lexicon = lexicon
+        self.tree: TaxonomyTree = lexicon.tree
+        self.broad_match_rate = broad_match_rate
+        #: Probability the behavioural signal is *available* for a matching
+        #: visitor — the network's interest profiles do not cover everyone.
+        self.behavioural_rate = behavioural_rate
+        self.vertical_radius_edges = vertical_radius_edges
+        self._campaign_topics: dict[str, tuple[str, ...]] = {}
+        self._contextual_cache: dict[tuple[str, str], bool] = {}
+
+    def campaign_topics(self, campaign: CampaignSpec) -> tuple[str, ...]:
+        """The campaign keywords resolved to taxonomy nodes (cached)."""
+        if campaign.campaign_id not in self._campaign_topics:
+            topics = tuple(self.lexicon.topics_of(list(campaign.keywords)))
+            self._campaign_topics[campaign.campaign_id] = topics
+        return self._campaign_topics[campaign.campaign_id]
+
+    def contextual_match(self, campaign: CampaignSpec,
+                         publisher: Publisher) -> bool:
+        """The *network's* page-classifier verdict (loose, cached)."""
+        key = (campaign.campaign_id, publisher.domain)
+        if key not in self._contextual_cache:
+            self._contextual_cache[key] = self._contextual(campaign, publisher)
+        return self._contextual_cache[key]
+
+    def _contextual(self, campaign: CampaignSpec, publisher: Publisher) -> bool:
+        if any(publisher.matches_keyword(keyword)
+               for keyword in campaign.keywords):
+            return True
+        campaign_topics = self.campaign_topics(campaign)
+        for campaign_topic in campaign_topics:
+            for publisher_topic in publisher.topics:
+                if self.tree.path_length(campaign_topic,
+                                         publisher_topic) <= self.vertical_radius_edges:
+                    return True
+        return False
+
+    def behavioural_match(self, campaign: CampaignSpec,
+                          interests: tuple[str, ...]) -> bool:
+        """Does the visitor's recent browsing profile match the campaign?"""
+        campaign_topics = self.campaign_topics(campaign)
+        if not campaign_topics or not interests:
+            return False
+        interest_set = set(interests)
+        for topic in campaign_topics:
+            if topic in interest_set:
+                return True
+            # Interests one edge away (e.g. 'la-liga' vs keyword 'football')
+            # also trip the behavioural signal.
+            for interest in interest_set:
+                if self.tree.path_length(topic, interest) <= 1:
+                    return True
+        return False
+
+    def decide(self, campaign: CampaignSpec, publisher: Publisher,
+               interests: tuple[str, ...], rng: random.Random,
+               broad_rate: float | None = None) -> MatchDecision:
+        """Full eligibility decision for one pageview.
+
+        *broad_rate* overrides the engine default; the ad server raises it
+        dynamically when a campaign is underdelivering against its budget
+        (run-of-network expansion) — which is how keyword campaigns with
+        almost no matching inventory still manage to spend.
+        """
+        if campaign.keywords and self.contextual_match(campaign, publisher):
+            return MatchDecision(eligible=True, reason=MatchReason.CONTEXTUAL)
+        if self.behavioural_match(campaign, interests) \
+                and rng.random() < self.behavioural_rate:
+            return MatchDecision(eligible=True, reason=MatchReason.BEHAVIOURAL)
+        rate = self.broad_match_rate if broad_rate is None else broad_rate
+        if rng.random() < rate:
+            return MatchDecision(eligible=True, reason=MatchReason.BROAD)
+        return MatchDecision(eligible=False, reason=MatchReason.NONE)

@@ -1,0 +1,118 @@
+"""Vendor-side campaign reporting — the artifact under audit.
+
+Builds the report an advertiser downloads from the vendor console.  The
+report embeds the policies the paper reverse-engineers:
+
+* **Placement rows cover only vendor-viewable impressions.**  A publisher
+  that served ads nobody (per the network's measurement) saw never appears
+  — the paper's explanation for the 57 % of publishers missing from
+  AdWords reports (Figure 1).
+* **Anonymous inventory is aggregated** under the ``anonymous.google``
+  placement, hiding those publishers' identities.
+* **The contextual column uses the network's own criteria**, including the
+  undisclosed behavioural signal, so it overstates thematic relevance
+  relative to an auditor who can only inspect publisher content (Table 2).
+* **Totals count every charged impression**, viewable or not — totals and
+  placement rows deliberately do not add up, as in the real console.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adnetwork.server import DeliveredImpression
+from repro.util.stats import Fraction2
+
+#: The aggregated placement name Google uses for anonymous sellers.
+ANONYMOUS_PLACEMENT = "anonymous.google"
+
+
+@dataclass(frozen=True)
+class PlacementRow:
+    """One row of the placements report."""
+
+    placement: str
+    impressions: int
+
+    def __post_init__(self) -> None:
+        if not self.placement:
+            raise ValueError("placement must be non-empty")
+        if self.impressions < 1:
+            raise ValueError("a placement row needs at least one impression")
+
+    @property
+    def is_anonymous(self) -> bool:
+        return self.placement == ANONYMOUS_PLACEMENT
+
+
+@dataclass(frozen=True)
+class VendorReport:
+    """Everything the vendor console shows the advertiser for one campaign."""
+
+    campaign_id: str
+    total_impressions: int
+    placements: tuple[PlacementRow, ...]
+    contextual: Fraction2
+    charged_eur: float
+    refunded_eur: float
+
+    @property
+    def reported_publishers(self) -> set[str]:
+        """Named publisher domains in the placements report (the anonymous
+        aggregate is not a publisher identity and is excluded)."""
+        return {row.placement for row in self.placements
+                if not row.is_anonymous}
+
+    @property
+    def anonymous_impressions(self) -> int:
+        """Impressions filed under ``anonymous.google``."""
+        return sum(row.impressions for row in self.placements
+                   if row.is_anonymous)
+
+    @property
+    def placement_impressions(self) -> int:
+        """Impressions visible in placement rows (≤ total_impressions)."""
+        return sum(row.impressions for row in self.placements)
+
+
+class VendorReporter:
+    """Projects ground-truth impressions into vendor reports."""
+
+    def __init__(self, viewable_only_placements: bool = True) -> None:
+        #: The policy under test in ablation A1: set False to make the
+        #: vendor disclose every delivered placement.
+        self.viewable_only_placements = viewable_only_placements
+
+    def report(self, campaign_id: str,
+               impressions: list[DeliveredImpression],
+               charged_eur: float = 0.0,
+               refunded_eur: float = 0.0) -> VendorReport:
+        """Build the console report for one campaign."""
+        for impression in impressions:
+            if impression.campaign.campaign_id != campaign_id:
+                raise ValueError(
+                    f"impression {impression.impression_id} belongs to "
+                    f"{impression.campaign.campaign_id!r}, not {campaign_id!r}")
+        placement_counts: dict[str, int] = {}
+        contextual_count = 0
+        for impression in impressions:
+            if impression.match.claimed_contextual:
+                contextual_count += 1
+            if self.viewable_only_placements and \
+                    not impression.exposure.vendor_viewable:
+                continue
+            publisher = impression.pageview.publisher
+            name = ANONYMOUS_PLACEMENT if publisher.is_anonymous \
+                else publisher.domain
+            placement_counts[name] = placement_counts.get(name, 0) + 1
+        placements = tuple(PlacementRow(placement=name, impressions=count)
+                           for name, count in sorted(placement_counts.items()))
+        return VendorReport(
+            campaign_id=campaign_id,
+            total_impressions=len(impressions),
+            placements=placements,
+            contextual=Fraction2(contextual_count, len(impressions))
+            if impressions else Fraction2(0, 0),
+            charged_eur=charged_eur,
+            refunded_eur=refunded_eur,
+        )

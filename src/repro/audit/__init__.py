@@ -1,0 +1,44 @@
+"""The auditing methodology — the paper's core contribution.
+
+Consumes (a) the independently collected impression dataset and (b) the
+vendor's campaign reports, and produces the six quality assessments of
+§4.2: brand safety, context, publisher popularity, viewability, frequency
+capping and fraud exposure — plus the reconciliation of vendor reporting
+against ground observations.
+"""
+
+from repro.audit.dataset import AuditDataset
+from repro.audit.brand_safety import BrandSafetyAudit, VennCounts
+from repro.audit.context import ContextAudit, ContextCriterion
+from repro.audit.popularity import PopularityAudit, RankDistribution
+from repro.audit.viewability import ViewabilityAudit
+from repro.audit.frequency import FrequencyAudit, UserFrequency
+from repro.audit.fraud import FraudAudit, DataCenterStats
+from repro.audit.conversion import ConversionAudit, ConversionResult
+from repro.audit.reconcile import ReconciliationAudit, Discrepancies
+from repro.audit.report import CampaignAuditReport, full_audit
+from repro.audit.export import report_to_csv, report_to_dict, report_to_json
+
+__all__ = [
+    "AuditDataset",
+    "BrandSafetyAudit",
+    "VennCounts",
+    "ContextAudit",
+    "ContextCriterion",
+    "PopularityAudit",
+    "RankDistribution",
+    "ViewabilityAudit",
+    "FrequencyAudit",
+    "UserFrequency",
+    "FraudAudit",
+    "DataCenterStats",
+    "ConversionAudit",
+    "ConversionResult",
+    "ReconciliationAudit",
+    "Discrepancies",
+    "CampaignAuditReport",
+    "full_audit",
+    "report_to_csv",
+    "report_to_dict",
+    "report_to_json",
+]

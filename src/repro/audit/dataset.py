@@ -1,0 +1,82 @@
+"""The auditor's working set.
+
+Bundles everything the advertiser-side auditor legitimately has access to:
+
+* the impression store collected by their own beacon,
+* the vendor reports downloaded from the console,
+* the campaign specs they themselves configured,
+* a *publisher directory* — per-domain keywords/topics, which in the paper
+  come from the keywords and topics AdWords assigns to each publisher (and
+  could equally be produced by crawling the sites),
+* public IP intelligence and ranking services.
+
+No simulation ground truth enters through this type: audits can only see
+what a real advertiser could.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.adnetwork.campaign import CampaignSpec
+from repro.adnetwork.reporting import VendorReport
+from repro.collector.store import ImpressionRecord, ImpressionStore
+from repro.taxonomy.lexicon import Lexicon
+from repro.web.publisher import Publisher
+from repro.web.ranking import RankingService
+
+
+@dataclass
+class AuditDataset:
+    """Everything one audit run works from."""
+
+    store: ImpressionStore
+    campaigns: Mapping[str, CampaignSpec]
+    vendor_reports: Mapping[str, VendorReport]
+    directory: Mapping[str, Publisher]
+    lexicon: Lexicon
+    ranking: RankingService
+    notes: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for campaign_id in self.vendor_reports:
+            if campaign_id not in self.campaigns:
+                raise ValueError(
+                    f"vendor report for unknown campaign {campaign_id!r}")
+
+    @property
+    def campaign_ids(self) -> list[str]:
+        """All configured campaigns, in configuration order."""
+        return list(self.campaigns)
+
+    def records(self, campaign_id: str) -> list[ImpressionRecord]:
+        """Logged impressions for one campaign."""
+        if campaign_id not in self.campaigns:
+            raise KeyError(f"unknown campaign: {campaign_id!r}")
+        return self.store.by_campaign(campaign_id)
+
+    def audit_publishers(self, campaign_id: Optional[str] = None) -> set[str]:
+        """Publisher domains our methodology observed."""
+        return self.store.distinct_domains(campaign_id)
+
+    def vendor_publishers(self, campaign_id: Optional[str] = None) -> set[str]:
+        """Publisher domains the vendor's placement reports name."""
+        if campaign_id is not None:
+            report = self.vendor_reports.get(campaign_id)
+            return report.reported_publishers if report else set()
+        domains: set[str] = set()
+        for report in self.vendor_reports.values():
+            domains |= report.reported_publishers
+        return domains
+
+    def publisher_info(self, domain: str) -> Optional[Publisher]:
+        """Directory entry (vendor-assigned keywords/topics) for a domain."""
+        return self.directory.get(domain.lower())
+
+    def require_report(self, campaign_id: str) -> VendorReport:
+        """The vendor report for a campaign (raises when absent)."""
+        report = self.vendor_reports.get(campaign_id)
+        if report is None:
+            raise KeyError(f"no vendor report for campaign {campaign_id!r}")
+        return report

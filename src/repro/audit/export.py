@@ -1,0 +1,132 @@
+"""Machine-readable exports of the audit artifacts.
+
+The rendered ASCII tables are for humans; downstream tooling (dashboards,
+spreadsheets, alerting) wants the same facts as JSON or CSV.  Everything
+here is a pure projection of the audit results — no new analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any
+
+from repro.audit.report import FullAuditReport
+
+
+def report_to_dict(report: FullAuditReport) -> dict[str, Any]:
+    """The full audit as one JSON-serialisable dictionary."""
+    campaigns = []
+    for campaign in report.campaigns:
+        campaigns.append({
+            "campaign_id": campaign.campaign_id,
+            "brand_safety": {
+                "publishers_audit_only": campaign.venn.audit_only,
+                "publishers_both": campaign.venn.both,
+                "publishers_vendor_only": campaign.venn.vendor_only,
+                "unreported_by_vendor_pct": round(
+                    campaign.venn.unreported_by_vendor.pct, 2),
+                "unlogged_by_audit_pct": round(
+                    campaign.venn.unlogged_by_audit.pct, 2),
+            },
+            "context": {
+                "audit_pct": round(campaign.context.audit_fraction.pct, 2),
+                "vendor_pct": round(campaign.context.vendor_fraction.pct, 2),
+                "meaningful_publishers": campaign.context.meaningful_publishers,
+            },
+            "viewability": {
+                "upper_bound_pct": round(
+                    campaign.viewability.viewable_upper_bound.pct, 2),
+                "median_exposure_seconds": round(
+                    campaign.viewability.median_exposure_seconds, 3),
+            },
+            "fraud": {
+                "dc_ips_pct": round(campaign.fraud.dc_ips.pct, 2),
+                "dc_impressions_pct": round(
+                    campaign.fraud.dc_impressions.pct, 2),
+                "dc_publishers_pct": round(
+                    campaign.fraud.dc_publishers.pct, 2),
+                "estimated_cost_eur": round(
+                    campaign.fraud.estimated_cost_eur, 6),
+                "vendor_refund_eur": round(
+                    campaign.fraud.vendor_refund_eur, 6),
+            },
+            "reconciliation": {
+                "vendor_impressions": campaign.discrepancies.vendor_impressions,
+                "logged_impressions": campaign.discrepancies.logged_impressions,
+                "logging_loss_pct": round(
+                    campaign.discrepancies.logging_loss.pct, 2),
+                "contextual_gap_points": round(
+                    campaign.discrepancies.contextual_gap_points, 2),
+                "dc_cost_not_refunded_eur": round(
+                    campaign.discrepancies.dc_cost_not_refunded_eur, 6),
+            },
+            "popularity": {
+                "bucket_edges": list(campaign.popularity.bucket_edges),
+                "publisher_fractions": [
+                    round(value, 4)
+                    for value in campaign.popularity.publisher_fractions],
+                "impression_fractions": [
+                    round(value, 4)
+                    for value in campaign.popularity.impression_fractions],
+            },
+        })
+    return {
+        "campaigns": campaigns,
+        "aggregate": {
+            "publishers_audit_only": report.aggregate_venn.audit_only,
+            "publishers_both": report.aggregate_venn.both,
+            "publishers_vendor_only": report.aggregate_venn.vendor_only,
+            "unreported_by_vendor_pct": round(
+                report.aggregate_venn.unreported_by_vendor.pct, 2),
+        },
+        "frequency": {
+            "total_users": report.frequency.total_users,
+            "users_over_10": report.frequency.users_over_10,
+            "users_over_100": report.frequency.users_over_100,
+            "max_impressions_single_user":
+                report.frequency.max_impressions_single_user,
+            "users_median_under_60s": report.frequency.users_median_under_60s,
+        },
+        "blacklist": list(report.blacklist),
+    }
+
+
+def report_to_json(report: FullAuditReport, indent: int = 2) -> str:
+    """The full audit as a JSON document."""
+    return json.dumps(report_to_dict(report), indent=indent, sort_keys=True)
+
+
+#: Column order for the per-campaign CSV export.
+CSV_COLUMNS = (
+    "campaign_id",
+    "logged_impressions",
+    "vendor_impressions",
+    "unreported_publishers_pct",
+    "audit_contextual_pct",
+    "vendor_contextual_pct",
+    "viewability_upper_bound_pct",
+    "dc_impressions_pct",
+    "dc_cost_not_refunded_eur",
+)
+
+
+def report_to_csv(report: FullAuditReport) -> str:
+    """One CSV row per campaign with the headline audit columns."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(CSV_COLUMNS)
+    for campaign in report.campaigns:
+        writer.writerow([
+            campaign.campaign_id,
+            campaign.discrepancies.logged_impressions,
+            campaign.discrepancies.vendor_impressions,
+            f"{campaign.venn.unreported_by_vendor.pct:.2f}",
+            f"{campaign.context.audit_fraction.pct:.2f}",
+            f"{campaign.context.vendor_fraction.pct:.2f}",
+            f"{campaign.viewability.viewable_upper_bound.pct:.2f}",
+            f"{campaign.fraud.dc_impressions.pct:.2f}",
+            f"{campaign.discrepancies.dc_cost_not_refunded_eur:.6f}",
+        ])
+    return buffer.getvalue()

@@ -1,0 +1,33 @@
+"""The injected-JavaScript beacon (simulated).
+
+The paper's core instrument: a light script inside the HTML5 creative that
+opens a WebSocket to the central collector, reports the page URL, the
+User-Agent and user interactions, and whose connection lifetime measures
+the ad's exposure time.  This package simulates the script's behaviour in
+the visitor's browser — including the environments where it never runs
+(script-blocking publishers, restrictive browsers/antivirus).
+"""
+
+from repro.beacon.events import InteractionEvent, InteractionKind, BeaconObservation
+from repro.beacon.script import BeaconScript, BeaconScriptConfig
+
+__all__ = [
+    "InteractionEvent",
+    "InteractionKind",
+    "BeaconObservation",
+    "BeaconScript",
+    "BeaconScriptConfig",
+    "BeaconClient",
+    "BeaconDelivery",
+]
+
+
+def __getattr__(name: str):
+    # BeaconClient pulls in the collector's wire format, whose module in
+    # turn needs repro.beacon.events — importing it lazily breaks the cycle
+    # while keeping ``from repro.beacon import BeaconClient`` working.
+    if name in ("BeaconClient", "BeaconDelivery"):
+        from repro.beacon import client
+
+        return getattr(client, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

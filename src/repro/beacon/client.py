@@ -1,0 +1,130 @@
+"""The beacon's WebSocket client side.
+
+Runs in the visitor's browser right after the creative renders: opens the
+connection to the collector (which stamps the impression), performs the
+RFC 6455 handshake, ships the HELLO string, streams interaction events at
+their offsets, and closes at page unload so the server-measured connection
+duration equals the ad's exposure time.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.adnetwork.server import DeliveredImpression
+from repro.beacon.events import BeaconObservation
+from repro.collector.payload import encode_hello, encode_interaction
+from repro.collector.server import CollectorServer
+from repro.net.transport import Endpoint, SimulatedNetwork
+from repro.net.websocket import (
+    Frame,
+    Opcode,
+    accept_key,
+    encode_frame,
+    make_client_key,
+    make_handshake_request,
+)
+from repro.util.simclock import SimClock
+
+
+class DeliveryStatus(enum.Enum):
+    """How far one beacon report made it."""
+
+    DELIVERED = "delivered"
+    CONNECT_FAILED = "connect_failed"
+    DROPPED_MID_STREAM = "dropped"
+    HANDSHAKE_FAILED = "handshake_failed"
+
+
+@dataclass(frozen=True)
+class BeaconDelivery:
+    """Outcome of one beacon execution that reached the network layer."""
+
+    status: DeliveryStatus
+    connection_id: Optional[int] = None
+
+    @property
+    def reached_server(self) -> bool:
+        """Did the collector get at least the connection (even truncated)?"""
+        return self.status in (DeliveryStatus.DELIVERED,
+                               DeliveryStatus.DROPPED_MID_STREAM)
+
+
+class BeaconClient:
+    """Drives one connection per observed impression."""
+
+    def __init__(self, network: SimulatedNetwork, collector: CollectorServer,
+                 clock: SimClock, rng: random.Random) -> None:
+        self.network = network
+        self.collector = collector
+        self.clock = clock
+        self.rng = rng
+
+    def deliver(self, impression: DeliveredImpression,
+                observation: BeaconObservation) -> BeaconDelivery:
+        """Report one impression to the collector.
+
+        Advances the shared clock to the impression's render instant, then
+        through each interaction offset, and finally to page unload.
+        """
+        render_time = (impression.pageview.timestamp
+                       + impression.exposure.render_delay)
+        # Keep the shared clock loosely in step for observers, but time the
+        # connection itself arithmetically: beacon connections overlap, so
+        # one global monotonic clock cannot sequence them.
+        self.clock.advance_to(render_time)
+        client_endpoint = Endpoint(ip=impression.pageview.ip,
+                                   port=49152 + self.rng.randrange(16384))
+        connection = self.network.connect(client_endpoint,
+                                          self.collector.endpoint,
+                                          at_time=render_time)
+        if connection is None:
+            return BeaconDelivery(status=DeliveryStatus.CONNECT_FAILED)
+        # Handshake needs a round trip before application frames flow.
+        now = connection.opened_at_server
+        key = make_client_key(self.rng)
+        connection.client_send(
+            make_handshake_request(self.collector.endpoint.ip, "/beacon", key,
+                                   origin=impression.pageview.url),
+            now)
+        self.collector.process(connection)
+        response = connection.drain_client_inbox()
+        if accept_key(key).encode("ascii") not in response:
+            connection.close(now, initiator="client")
+            self.collector.finalize(connection)
+            return BeaconDelivery(status=DeliveryStatus.HANDSHAKE_FAILED,
+                                  connection_id=connection.connection_id)
+        hello = encode_frame(Frame(Opcode.TEXT,
+                                   encode_hello(observation).encode("utf-8"),
+                                   masked=True), rng=self.rng)
+        connection.client_send(hello, now)
+        self.collector.process(connection)
+        skew = self.clock.server_skew
+        for event in observation.interactions:
+            now = max(now, render_time + event.offset_seconds + skew)
+            if self.network.maybe_drop_mid_stream(connection, now):
+                self.collector.finalize(connection)
+                return BeaconDelivery(status=DeliveryStatus.DROPPED_MID_STREAM,
+                                      connection_id=connection.connection_id)
+            frame = encode_frame(Frame(Opcode.TEXT,
+                                       encode_interaction(event).encode("utf-8"),
+                                       masked=True), rng=self.rng)
+            connection.client_send(frame, now)
+            self.collector.process(connection)
+        now = max(render_time + observation.exposure_seconds + skew,
+                  connection.opened_at_server)
+        self.clock.advance_to(now - skew)
+        if self.network.maybe_drop_mid_stream(connection, now):
+            self.collector.finalize(connection)
+            return BeaconDelivery(status=DeliveryStatus.DROPPED_MID_STREAM,
+                                  connection_id=connection.connection_id)
+        close = encode_frame(Frame(Opcode.CLOSE, b"", masked=True),
+                             rng=self.rng)
+        connection.client_send(close, now)
+        connection.close(now, initiator="client")
+        self.collector.finalize(connection)
+        return BeaconDelivery(status=DeliveryStatus.DELIVERED,
+                              connection_id=connection.connection_id)

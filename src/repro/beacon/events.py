@@ -1,0 +1,72 @@
+"""What the injected script can observe inside its iframe.
+
+The Same-Origin Policy (paper §3.1) bounds this list: the script sees its
+own iframe's URL context, the User-Agent, and pointer events over the ad —
+nothing about the surrounding page, the upstream referrer, or the iframe's
+position on screen.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class InteractionKind(enum.Enum):
+    """Pointer interactions the script listens for."""
+
+    MOUSE_MOVE = "mousemove"
+    CLICK = "click"
+
+
+@dataclass(frozen=True)
+class InteractionEvent:
+    """One pointer event, timed relative to the ad's render instant."""
+
+    kind: InteractionKind
+    offset_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.offset_seconds < 0:
+            raise ValueError("offset_seconds must be non-negative")
+
+
+@dataclass(frozen=True)
+class BeaconObservation:
+    """Everything the script will report for one impression.
+
+    ``page_url`` is what the script reads from its execution context —
+    the creative's page URL, whose domain identifies the publisher.
+    """
+
+    campaign_id: str
+    creative_id: str
+    page_url: str
+    user_agent: str
+    interactions: tuple[InteractionEvent, ...]
+    exposure_seconds: float
+    #: Pixel visibility, measurable only inside SafeFrame-style iframes;
+    #: None when the Same-Origin Policy hides the geometry (paper S3.1).
+    pixels_in_view: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if not self.campaign_id or not self.creative_id:
+            raise ValueError("campaign and creative ids must be non-empty")
+        if not self.page_url:
+            raise ValueError("page_url must be non-empty")
+        if self.exposure_seconds < 0:
+            raise ValueError("exposure_seconds must be non-negative")
+        for event in self.interactions:
+            if event.offset_seconds > self.exposure_seconds:
+                raise ValueError("interaction after page unload")
+
+    @property
+    def mouse_moves(self) -> int:
+        return sum(1 for event in self.interactions
+                   if event.kind is InteractionKind.MOUSE_MOVE)
+
+    @property
+    def clicks(self) -> int:
+        return sum(1 for event in self.interactions
+                   if event.kind is InteractionKind.CLICK)

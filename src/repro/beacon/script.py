@@ -1,0 +1,110 @@
+"""Behaviour of the injected script in the visitor's browser.
+
+Decides whether the script runs at all (the paper's §3.1 error model) and,
+when it does, what it observes: the page URL, the UA, and the pointer
+interactions generated while the ad is exposed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.adnetwork.server import DeliveredImpression
+from repro.beacon.events import (
+    BeaconObservation,
+    InteractionEvent,
+    InteractionKind,
+)
+
+
+@dataclass(frozen=True)
+class BeaconScriptConfig:
+    """Error-model and interaction knobs.
+
+    ``browser_block_rate`` covers untrusted-JavaScript refusals by browser
+    configuration or antivirus software; publisher-level iframe sandboxing
+    is carried by ``Publisher.blocks_scripts``.  Together with connection
+    loss these produce the ~16.5 % of publishers the paper's own dataset
+    missed.
+    """
+
+    browser_block_rate: float = 0.015
+    mouse_move_rate_per_second: float = 0.05
+    human_click_rate: float = 0.003
+    bot_click_rate: float = 0.06
+
+    def __post_init__(self) -> None:
+        for name in ("browser_block_rate", "human_click_rate", "bot_click_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1]")
+        if self.mouse_move_rate_per_second < 0:
+            raise ValueError("mouse_move_rate_per_second must be non-negative")
+
+
+class BeaconScript:
+    """Simulates one execution of the injected JavaScript."""
+
+    def __init__(self, config: BeaconScriptConfig | None = None) -> None:
+        self.config = config or BeaconScriptConfig()
+        self.blocked_by_publisher = 0
+        self.blocked_by_browser = 0
+
+    def observe(self, impression: DeliveredImpression,
+                rng: random.Random) -> Optional[BeaconObservation]:
+        """What the script reports for *impression* — or None if it never ran.
+
+        Two blocking layers: the publisher sandboxes third-party scripts
+        (nothing injected can execute there at all), or this particular
+        browser/antivirus refuses the untrusted code.
+        """
+        publisher = impression.pageview.publisher
+        if publisher.blocks_scripts:
+            self.blocked_by_publisher += 1
+            return None
+        if rng.random() < self.config.browser_block_rate:
+            self.blocked_by_browser += 1
+            return None
+        exposure = impression.exposure.exposure_seconds
+        interactions = self._interactions(impression, exposure, rng)
+        # Inside a SafeFrame the geometry API tells the script whether the
+        # creative's pixels entered the viewport; everywhere else the
+        # Same-Origin Policy leaves that unknown.
+        pixels = impression.exposure.pixels_in_view if publisher.safeframe \
+            else None
+        return BeaconObservation(
+            campaign_id=impression.campaign.campaign_id,
+            creative_id=impression.campaign.creative_id,
+            page_url=impression.pageview.url,
+            user_agent=impression.pageview.user_agent,
+            interactions=interactions,
+            exposure_seconds=exposure,
+            pixels_in_view=pixels,
+        )
+
+    def _interactions(self, impression: DeliveredImpression, exposure: float,
+                      rng: random.Random) -> tuple[InteractionEvent, ...]:
+        if exposure <= 0:
+            return ()
+        config = self.config
+        events: list[InteractionEvent] = []
+        is_bot = impression.pageview.is_bot
+        # Mouse movement over the creative: humans wander, click-fraud bots
+        # move synthetically straight to the ad.
+        rate = config.mouse_move_rate_per_second * (2.0 if is_bot else 1.0)
+        expected_moves = rate * exposure
+        move_count = min(50, int(expected_moves) +
+                         (1 if rng.random() < expected_moves % 1 else 0))
+        for _ in range(move_count):
+            events.append(InteractionEvent(
+                kind=InteractionKind.MOUSE_MOVE,
+                offset_seconds=rng.uniform(0.0, exposure)))
+        click_rate = config.bot_click_rate if is_bot else config.human_click_rate
+        if rng.random() < click_rate:
+            events.append(InteractionEvent(
+                kind=InteractionKind.CLICK,
+                offset_seconds=rng.uniform(0.0, exposure)))
+        events.sort(key=lambda event: event.offset_seconds)
+        return tuple(events)

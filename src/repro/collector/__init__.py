@@ -1,0 +1,34 @@
+"""Central collection server and impression database.
+
+The server side of the paper's pipeline: WebSocket endpoint that accepts
+beacon connections, parses the reported strings, timestamps impressions at
+connection establishment, measures exposure as connection duration, and
+stores everything in a queryable impression database which is then
+enriched with IP meta-data (provider, country, rank) before the raw IP is
+anonymised.
+"""
+
+from repro.collector.payload import (
+    PayloadError,
+    HelloMessage,
+    InteractionMessage,
+    encode_hello,
+    encode_interaction,
+    parse_message,
+)
+from repro.collector.store import ImpressionRecord, ImpressionStore
+from repro.collector.server import CollectorServer
+from repro.collector.enrich import Enricher
+
+__all__ = [
+    "PayloadError",
+    "HelloMessage",
+    "InteractionMessage",
+    "encode_hello",
+    "encode_interaction",
+    "parse_message",
+    "ImpressionRecord",
+    "ImpressionStore",
+    "CollectorServer",
+    "Enricher",
+]

@@ -1,0 +1,55 @@
+"""Dataset enrichment — and then IP anonymisation.
+
+The paper's footnote 1: the raw IP is used to extract meta-data (provider,
+country, data-center status) and is *then* anonymised with hashing.  The
+enricher performs exactly that pass over a collected store: it resolves
+each record's IP against the GeoIP database, the deny list cascade and the
+ranking service, then replaces the raw IP with a salted token.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.collector.store import ImpressionStore
+from repro.geo.resolver import DataCenterResolver
+from repro.geo.ipdb import GeoIpDatabase
+from repro.util.hashing import anonymize_ip
+from repro.web.ranking import RankingService
+
+
+class Enricher:
+    """Fills IP-derived columns and anonymises the dataset in place."""
+
+    def __init__(self, ipdb: GeoIpDatabase, resolver: DataCenterResolver,
+                 ranking: RankingService, salt: str = "adaudit") -> None:
+        self.ipdb = ipdb
+        self.resolver = resolver
+        self.ranking = ranking
+        self.salt = salt
+
+    def enrich_store(self, store: ImpressionStore) -> int:
+        """Enrich + anonymise every not-yet-enriched record; returns count.
+
+        Idempotent: records whose ``ip_token`` is already set are skipped
+        (their raw IP is gone, so there is nothing left to resolve).
+        """
+        enriched = 0
+        for index, record in enumerate(store):
+            if record.ip_token:
+                continue
+            ip_record = self.ipdb.lookup(record.ip)
+            verdict = self.resolver.classify(record.ip)
+            rank = self.ranking.rank_of(record.domain)
+            store.replace_at(index, replace(
+                record,
+                ip_token=anonymize_ip(record.ip, salt=self.salt),
+                ip="",
+                provider=ip_record.provider if ip_record else "",
+                country=ip_record.country if ip_record else "",
+                global_rank=rank,
+                is_datacenter=verdict.is_datacenter,
+                dc_stage=verdict.stage.value,
+            ))
+            enriched += 1
+        return enriched

@@ -1,0 +1,138 @@
+"""Beacon wire format.
+
+The paper transfers "the information ... in the form of a string" over the
+WebSocket.  We pin that string down: pipe-delimited key=value pairs with
+percent-encoding, one HELLO message per impression followed by zero or more
+EVT messages for interactions.
+
+    HELLO|v=1|cid=Research-010|cr=Research-010-creative|url=http%3A//...|ua=Mozilla...
+    EVT|kind=mousemove|t=3.217
+    EVT|kind=click|t=6.004
+
+Both sides share this module: the beacon client encodes, the collector
+parses (strictly — a malformed message is counted and dropped, never
+guessed at).
+"""
+
+from __future__ import annotations
+
+import urllib.parse
+from dataclasses import dataclass
+
+from repro.beacon.events import BeaconObservation, InteractionEvent, InteractionKind
+
+_VERSION = "1"
+
+
+class PayloadError(Exception):
+    """Malformed beacon message."""
+
+
+@dataclass(frozen=True)
+class HelloMessage:
+    """The per-impression announcement.
+
+    ``pixels_in_view`` is present only when the creative ran inside a
+    SafeFrame-style iframe whose geometry the script could read.
+    """
+
+    campaign_id: str
+    creative_id: str
+    url: str
+    user_agent: str
+    pixels_in_view: "bool | None" = None
+
+
+@dataclass(frozen=True)
+class InteractionMessage:
+    """One pointer interaction report."""
+
+    kind: InteractionKind
+    offset_seconds: float
+
+
+def _quote(value: str) -> str:
+    return urllib.parse.quote(value, safe="")
+
+
+def _unquote(value: str) -> str:
+    return urllib.parse.unquote(value)
+
+
+def encode_hello(observation: BeaconObservation) -> str:
+    """Serialise the impression announcement."""
+    parts = [
+        "HELLO",
+        f"v={_VERSION}",
+        f"cid={_quote(observation.campaign_id)}",
+        f"cr={_quote(observation.creative_id)}",
+        f"url={_quote(observation.page_url)}",
+        f"ua={_quote(observation.user_agent)}",
+    ]
+    if observation.pixels_in_view is not None:
+        parts.append(f"pv={1 if observation.pixels_in_view else 0}")
+    return "|".join(parts)
+
+
+def encode_interaction(event: InteractionEvent) -> str:
+    """Serialise one interaction event."""
+    return f"EVT|kind={event.kind.value}|t={event.offset_seconds:.3f}"
+
+
+def _fields(parts: list[str]) -> dict[str, str]:
+    fields: dict[str, str] = {}
+    for part in parts:
+        key, separator, value = part.partition("=")
+        if not separator or not key:
+            raise PayloadError(f"malformed field: {part!r}")
+        if key in fields:
+            raise PayloadError(f"duplicate field: {key!r}")
+        fields[key] = value
+    return fields
+
+
+def parse_message(raw: str) -> HelloMessage | InteractionMessage:
+    """Parse one beacon message; raises :class:`PayloadError` when invalid."""
+    if not raw:
+        raise PayloadError("empty message")
+    parts = raw.split("|")
+    tag = parts[0]
+    if tag == "HELLO":
+        fields = _fields(parts[1:])
+        if fields.get("v") != _VERSION:
+            raise PayloadError(f"unsupported payload version: {fields.get('v')!r}")
+        try:
+            campaign_id = _unquote(fields["cid"])
+            creative_id = _unquote(fields["cr"])
+            url = _unquote(fields["url"])
+            user_agent = _unquote(fields["ua"])
+        except KeyError as exc:
+            raise PayloadError(f"HELLO missing field {exc}") from exc
+        if not campaign_id or not url:
+            raise PayloadError("HELLO with empty campaign or url")
+        pixels_in_view = None
+        if "pv" in fields:
+            if fields["pv"] not in ("0", "1"):
+                raise PayloadError(f"bad pv flag: {fields['pv']!r}")
+            pixels_in_view = fields["pv"] == "1"
+        return HelloMessage(campaign_id=campaign_id, creative_id=creative_id,
+                            url=url, user_agent=user_agent,
+                            pixels_in_view=pixels_in_view)
+    if tag == "EVT":
+        fields = _fields(parts[1:])
+        try:
+            kind = InteractionKind(fields["kind"])
+        except KeyError:
+            raise PayloadError("EVT missing kind") from None
+        except ValueError:
+            raise PayloadError(f"unknown interaction kind: {fields['kind']!r}") from None
+        try:
+            offset = float(fields["t"])
+        except KeyError:
+            raise PayloadError("EVT missing timestamp") from None
+        except ValueError:
+            raise PayloadError(f"bad EVT timestamp: {fields['t']!r}") from None
+        if offset < 0:
+            raise PayloadError("negative EVT timestamp")
+        return InteractionMessage(kind=kind, offset_seconds=offset)
+    raise PayloadError(f"unknown message tag: {tag!r}")

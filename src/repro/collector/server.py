@@ -1,0 +1,206 @@
+"""The central collection server.
+
+The Node.js server of the paper, in Python: accepts WebSocket connections
+from beacons, performs the upgrade handshake, decodes masked frames,
+parses the reported strings, and — on connection teardown — commits one
+impression record per connection:
+
+* the **timestamp** is the server's local time at connection
+  establishment,
+* the **exposure time** is the server-measured connection duration,
+* the **IP address** is the connection's remote endpoint.
+
+Connections that never produce a valid HELLO (handshake garbage, malformed
+payloads, network deaths before the first frame) are counted and dropped —
+the §3.1 error model in action.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.collector.payload import (
+    HelloMessage,
+    InteractionMessage,
+    PayloadError,
+    parse_message,
+)
+from repro.collector.store import ImpressionRecord, ImpressionStore
+from repro.net.transport import Connection, Endpoint, SimulatedNetwork
+from repro.net.websocket import (
+    Frame,
+    FrameDecoder,
+    MessageAssembler,
+    Opcode,
+    WebSocketError,
+    make_handshake_response,
+    parse_handshake_request,
+)
+
+
+@dataclass
+class _Session:
+    """Per-connection server state."""
+
+    connection: Connection
+    handshake_done: bool = False
+    handshake_buffer: bytearray = field(default_factory=bytearray)
+    decoder: FrameDecoder = field(default_factory=lambda: FrameDecoder(require_masked=True))
+    assembler: MessageAssembler = field(default_factory=MessageAssembler)
+    hello: Optional[HelloMessage] = None
+    mouse_moves: int = 0
+    clicks: int = 0
+    got_close_frame: bool = False
+    failed: bool = False
+    finalized: bool = False
+
+
+class CollectorServer:
+    """Accepts beacon connections and writes the impression database."""
+
+    DEFAULT_ENDPOINT = Endpoint(ip="198.51.100.10", port=443)
+
+    def __init__(self, store: ImpressionStore,
+                 endpoint: Endpoint | None = None) -> None:
+        self.store = store
+        self.endpoint = endpoint or self.DEFAULT_ENDPOINT
+        self._sessions: dict[int, _Session] = {}
+        self.handshake_failures = 0
+        self.malformed_messages = 0
+        self.connections_without_hello = 0
+        self.records_committed = 0
+
+    def attach(self, network: SimulatedNetwork) -> None:
+        """Register as the listening server on *network*."""
+        network.on_accept(self._accept)
+
+    def _accept(self, connection: Connection) -> None:
+        self._sessions[connection.connection_id] = _Session(connection=connection)
+
+    def session_count(self) -> int:
+        """Connections currently tracked (not yet finalized)."""
+        return len(self._sessions)
+
+    # ------------------------------------------------------------------ #
+
+    def process(self, connection: Connection) -> None:
+        """Consume whatever bytes the connection has pending.
+
+        Driven by the simulation whenever the client flushes — the
+        event-loop callback of the real Node.js server.
+        """
+        session = self._sessions.get(connection.connection_id)
+        if session is None or session.failed:
+            return
+        data = connection.drain_server_inbox()
+        if not data:
+            return
+        if not session.handshake_done:
+            data = self._handle_handshake(session, data)
+            if session.failed or data is None:
+                return
+        try:
+            for frame in session.decoder.feed(data):
+                self._handle_frame(session, frame)
+        except WebSocketError:
+            self.malformed_messages += 1
+            session.failed = True
+
+    def _handle_handshake(self, session: _Session,
+                          data: bytes) -> Optional[bytes]:
+        """Returns post-handshake leftover bytes, or None if still waiting."""
+        session.handshake_buffer.extend(data)
+        marker = session.handshake_buffer.find(b"\r\n\r\n")
+        if marker < 0:
+            return None
+        raw = bytes(session.handshake_buffer[: marker + 4])
+        leftover = bytes(session.handshake_buffer[marker + 4:])
+        session.handshake_buffer.clear()
+        try:
+            headers = parse_handshake_request(raw)
+        except WebSocketError:
+            self.handshake_failures += 1
+            session.failed = True
+            return None
+        session.handshake_done = True
+        if session.connection.is_open:
+            response = make_handshake_response(headers["sec-websocket-key"])
+            session.connection.server_send(
+                response, session.connection.opened_at_server)
+        return leftover
+
+    def _handle_frame(self, session: _Session, frame: Frame) -> None:
+        if frame.opcode is Opcode.CLOSE:
+            session.got_close_frame = True
+            return
+        if frame.opcode in (Opcode.PING, Opcode.PONG):
+            return
+        # Data frames may arrive fragmented (RFC 6455 §5.4); reassemble
+        # before interpreting the payload.
+        try:
+            assembled = session.assembler.push(frame)
+        except WebSocketError:
+            self.malformed_messages += 1
+            session.failed = True
+            return
+        if assembled is None:
+            return
+        opcode, payload = assembled
+        if opcode is not Opcode.TEXT:
+            self.malformed_messages += 1
+            return
+        try:
+            message = parse_message(payload.decode("utf-8"))
+        except (UnicodeDecodeError, PayloadError):
+            self.malformed_messages += 1
+            return
+        if isinstance(message, HelloMessage):
+            if session.hello is None:
+                session.hello = message
+            else:
+                self.malformed_messages += 1
+        elif isinstance(message, InteractionMessage):
+            if message.kind.value == "mousemove":
+                session.mouse_moves += 1
+            else:
+                session.clicks += 1
+
+    # ------------------------------------------------------------------ #
+
+    def finalize(self, connection: Connection) -> Optional[ImpressionRecord]:
+        """Commit the connection's impression once it is closed.
+
+        Must be called after the transport close; consumes any last bytes
+        first (the client's CLOSE frame usually races the teardown).
+        """
+        self.process(connection)
+        session = self._sessions.pop(connection.connection_id, None)
+        if session is None:
+            return None
+        if connection.is_open:
+            # A finalize on an open connection is a server-side programming
+            # error; re-track the session rather than lose data silently.
+            self._sessions[connection.connection_id] = session
+            raise ValueError("cannot finalize an open connection")
+        if session.failed or session.hello is None:
+            self.connections_without_hello += 1
+            return None
+        hello = session.hello
+        record = ImpressionRecord(
+            record_id=self.store.next_record_id(),
+            campaign_id=hello.campaign_id,
+            creative_id=hello.creative_id,
+            url=hello.url,
+            user_agent=hello.user_agent,
+            ip=connection.client.ip,
+            timestamp=connection.opened_at_server,
+            exposure_seconds=max(0.0, connection.duration),
+            mouse_moves=session.mouse_moves,
+            clicks=session.clicks,
+            truncated=not session.got_close_frame,
+            pixels_in_view=hello.pixels_in_view,
+        )
+        self.store.insert(record)
+        self.records_committed += 1
+        return record

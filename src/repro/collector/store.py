@@ -1,0 +1,181 @@
+"""Impression database.
+
+The MySQL stand-in: an append-only store of logged impressions with the
+query surface the audit needs (per-campaign slices, distinct publishers,
+per-user groupings) and JSONL persistence so datasets survive between
+collection and analysis runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Iterator, Optional
+
+from repro.web.publisher import domain_of_url
+
+
+@dataclass(frozen=True)
+class ImpressionRecord:
+    """One logged ad impression, as the collector stores it.
+
+    Identity/meta fields before enrichment hold the connection facts
+    (raw IP, server timestamp); enrichment fills the IP-derived columns and
+    *replaces the raw IP with its anonymised token* (``ip`` becomes empty,
+    ``ip_token`` non-empty) — the ordering §3/footnote 1 of the paper
+    prescribes.
+    """
+
+    record_id: int
+    campaign_id: str
+    creative_id: str
+    url: str
+    user_agent: str
+    ip: str
+    timestamp: float
+    exposure_seconds: float
+    mouse_moves: int = 0
+    clicks: int = 0
+    truncated: bool = False
+    #: SafeFrame-measured pixel visibility; None when unmeasurable (S3.1).
+    pixels_in_view: Optional[bool] = None
+    # enrichment columns
+    ip_token: str = ""
+    provider: str = ""
+    country: str = ""
+    global_rank: Optional[int] = None
+    is_datacenter: Optional[bool] = None
+    dc_stage: str = ""
+
+    def __post_init__(self) -> None:
+        if self.record_id < 1:
+            raise ValueError("record_id must be positive")
+        if not self.campaign_id:
+            raise ValueError("campaign_id must be non-empty")
+        if not self.url:
+            raise ValueError("url must be non-empty")
+        if not self.ip and not self.ip_token:
+            raise ValueError("record needs a raw IP or an anonymised token")
+        if self.exposure_seconds < 0:
+            raise ValueError("exposure_seconds must be non-negative")
+        if self.mouse_moves < 0 or self.clicks < 0:
+            raise ValueError("interaction counts must be non-negative")
+
+    @property
+    def domain(self) -> str:
+        """Publisher domain extracted from the reported URL."""
+        return domain_of_url(self.url)
+
+    @property
+    def user_key(self) -> str:
+        """The audit's user identity: IP ⊕ User-Agent.
+
+        Works both before and after anonymisation because the IP token is
+        a stable function of the raw IP.
+        """
+        return f"{self.ip_token or self.ip}\x1f{self.user_agent}"
+
+    @property
+    def viewable_upper_bound(self) -> bool:
+        """Exposed ≥ 1 s — the auditor's measurable viewability bound."""
+        return self.exposure_seconds >= 1.0
+
+
+class ImpressionStore:
+    """Append-only impression table with the audit's query surface."""
+
+    def __init__(self) -> None:
+        self._records: list[ImpressionRecord] = []
+        self._next_id = 1
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[ImpressionRecord]:
+        return iter(self._records)
+
+    def next_record_id(self) -> int:
+        """Allocate the id for the next inserted record."""
+        return self._next_id
+
+    def insert(self, record: ImpressionRecord) -> None:
+        """Append one record (ids must be allocated via next_record_id)."""
+        if record.record_id != self._next_id:
+            raise ValueError(
+                f"expected record_id {self._next_id}, got {record.record_id}")
+        self._records.append(record)
+        self._next_id += 1
+
+    def replace_at(self, index: int, record: ImpressionRecord) -> None:
+        """Overwrite a record in place (enrichment uses this)."""
+        self._records[index] = record
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def campaigns(self) -> list[str]:
+        """Distinct campaign ids, in first-seen order."""
+        seen: dict[str, None] = {}
+        for record in self._records:
+            seen.setdefault(record.campaign_id, None)
+        return list(seen)
+
+    def by_campaign(self, campaign_id: str) -> list[ImpressionRecord]:
+        """All records logged for one campaign."""
+        return [record for record in self._records
+                if record.campaign_id == campaign_id]
+
+    def where(self, predicate: Callable[[ImpressionRecord], bool]
+              ) -> list[ImpressionRecord]:
+        """Generic filtered scan."""
+        return [record for record in self._records if predicate(record)]
+
+    def distinct_domains(self, campaign_id: Optional[str] = None) -> set[str]:
+        """Publisher domains observed (optionally for one campaign)."""
+        records = self._records if campaign_id is None \
+            else self.by_campaign(campaign_id)
+        return {record.domain for record in records}
+
+    def by_user(self, campaign_id: Optional[str] = None
+                ) -> dict[str, list[ImpressionRecord]]:
+        """Records grouped by (IP, User-Agent) user key."""
+        records = self._records if campaign_id is None \
+            else self.by_campaign(campaign_id)
+        grouped: dict[str, list[ImpressionRecord]] = {}
+        for record in records:
+            grouped.setdefault(record.user_key, []).append(record)
+        return grouped
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+
+    def dump_jsonl(self, path: str | Path) -> int:
+        """Write every record as one JSON object per line; returns count."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            for record in self._records:
+                handle.write(json.dumps(asdict(record), sort_keys=True))
+                handle.write("\n")
+        return len(self._records)
+
+    @classmethod
+    def load_jsonl(cls, path: str | Path) -> "ImpressionStore":
+        """Rebuild a store from :meth:`dump_jsonl` output."""
+        store = cls()
+        path = Path(path)
+        with path.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                    record = ImpressionRecord(**data)
+                except (json.JSONDecodeError, TypeError, ValueError) as exc:
+                    raise ValueError(
+                        f"{path}:{line_number}: bad record: {exc}") from exc
+                store.insert(record)
+        return store

@@ -1,0 +1,220 @@
+"""Configuration of the paper's evaluation (Table 1) and its world.
+
+Eight campaigns over three flight periods in early 2016.  Budgets are
+calibrated so the simulated delivery volumes land near the paper's
+impression counts at ``scale = 1.0``; the ``scale`` knob shrinks the whole
+world proportionally for tests and quick benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.adnetwork.campaign import CampaignSpec
+from repro.web.bots import BotConfig
+
+#: Bot operators monetising sports/entertainment inventory (the fleets that
+#: hit the Football campaigns in Table 4).
+SPORTS_BOT_PROFILE: tuple[tuple[str, float], ...] = (
+    ("sports", 0.70), ("entertainment", 0.20), ("news", 0.10))
+
+#: Indiscriminate scraper/crawler traffic present in every period.
+CRAWLER_BOT_PROFILE: tuple[tuple[str, float], ...] = (
+    ("news", 0.18), ("sports", 0.12), ("entertainment", 0.15),
+    ("technology", 0.15), ("lifestyle", 0.14), ("commerce", 0.14),
+    ("science", 0.12))
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """One Table 1 row: the campaign spec plus its calibration target."""
+
+    spec: CampaignSpec
+    target_impressions: int
+
+    def __post_init__(self) -> None:
+        if self.target_impressions < 1:
+            raise ValueError("target_impressions must be positive")
+
+
+@dataclass(frozen=True)
+class PeriodPlan:
+    """One simulated flight period: window, active countries, bot fleets."""
+
+    name: str
+    start_unix: float
+    end_unix: float
+    countries: tuple[str, ...]
+    #: (country, BotConfig) fleets active during this period.
+    fleets: tuple[tuple[str, BotConfig], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.end_unix <= self.start_unix:
+            raise ValueError("period must have positive duration")
+        if not self.countries:
+            raise ValueError("period needs at least one active country")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Full experiment: world sizing, campaigns, periods."""
+
+    seed: int = 2016
+    scale: float = 1.0
+    publisher_count: int = 9_000
+    users_per_country: int = 6_000
+    #: Share of publishers whose iframes sandbox third-party scripts -
+    #: the main contributor to the audit's own publisher blind spot
+    #: (ablation A3 sweeps this).
+    script_blocking_fraction: float = 0.15
+    campaigns: tuple[CampaignPlan, ...] = ()
+    periods: tuple[PeriodPlan, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.scale <= 4.0:
+            raise ValueError("scale must be within (0, 4]")
+        if self.publisher_count < 50:
+            raise ValueError("publisher_count too small to be meaningful")
+        if not 0.0 <= self.script_blocking_fraction <= 1.0:
+            raise ValueError("script_blocking_fraction must be within [0, 1]")
+        ids = [plan.spec.campaign_id for plan in self.campaigns]
+        if len(ids) != len(set(ids)):
+            raise ValueError("duplicate campaign ids in experiment")
+
+    @property
+    def scaled_users_per_country(self) -> int:
+        return max(50, int(round(self.users_per_country * self.scale)))
+
+    @property
+    def scaled_publisher_count(self) -> int:
+        return max(200, int(round(self.publisher_count * min(1.0, 0.25 + 0.75 * self.scale))))
+
+    def campaign(self, campaign_id: str) -> CampaignPlan:
+        """Look a campaign plan up by id."""
+        for plan in self.campaigns:
+            if plan.spec.campaign_id == campaign_id:
+                return plan
+        raise KeyError(f"unknown campaign: {campaign_id!r}")
+
+
+def _fleet(profile: tuple[tuple[str, float], ...], fleets: int,
+           bots_full_scale: int, daily_min: float, daily_max: float,
+           scale: float, dwell_min: float = 1.2, dwell_max: float = 8.0,
+           aggressive_fraction: float = 0.0,
+           aggressive_multiplier: float = 1.0,
+           fleet_focus_size: int = 0) -> BotConfig:
+    """Fleet sized for *scale* while preserving total bot pageview volume.
+
+    Bot *counts* round to integers, so at small scales the per-bot daily
+    rates are inflated to keep (bots × rate) — and therefore every bot
+    traffic *fraction* — scale-invariant.
+    """
+    bots = max(1, int(round(bots_full_scale * scale)))
+    volume_factor = bots_full_scale * scale / bots
+    return BotConfig(bots_per_fleet=bots, fleet_count=fleets,
+                     daily_pageviews_min=daily_min * volume_factor,
+                     daily_pageviews_max=daily_max * volume_factor,
+                     dwell_min=dwell_min, dwell_max=dwell_max,
+                     target_profile=profile,
+                     aggressive_fraction=aggressive_fraction,
+                     aggressive_multiplier=aggressive_multiplier,
+                     fleet_focus_size=fleet_focus_size)
+
+
+def paper_experiment(seed: int = 2016, scale: float = 1.0) -> ExperimentConfig:
+    """The 8-campaign study of Table 1, sized by *scale*.
+
+    Budgets below are calibrated (at scale 1.0, seed 2016) so delivered
+    volumes land in the neighbourhood of the paper's impression counts;
+    they scale linearly with the world.
+    """
+    flight = CampaignSpec.flight
+
+    def plan(campaign_id: str, keywords: tuple[str, ...], cpm: float,
+             countries: tuple[str, ...], window: tuple[float, float],
+             daily_budget: float, target: int) -> CampaignPlan:
+        start, end = window
+        return CampaignPlan(
+            spec=CampaignSpec(
+                campaign_id=campaign_id,
+                keywords=keywords,
+                cpm_eur=cpm,
+                target_countries=countries,
+                start_unix=start,
+                end_unix=end,
+                daily_budget_eur=daily_budget * scale,
+            ),
+            target_impressions=max(1, int(round(target * scale))),
+        )
+
+    general_keywords = ("Universities", "Research", "Telematics")
+    campaigns = (
+        plan("Research-010", ("Research",), 0.10, ("ES",),
+             flight(2016, 3, 29, 3, 31), 0.135, 5_117),
+        plan("Research-020", ("Research",), 0.20, ("ES",),
+             flight(2016, 3, 29, 3, 31), 3.80, 42_399),
+        plan("Football-010", ("Football",), 0.10, ("ES",),
+             flight(2016, 4, 2, 4, 3), 2.40, 33_730),
+        plan("Football-030", ("Football",), 0.30, ("ES",),
+             flight(2016, 4, 2, 4, 3), 1.25, 24_461),
+        plan("Russia", ("Research",), 0.01, ("RU",),
+             flight(2016, 3, 29, 3, 31), 0.0118, 4_096),
+        plan("USA", ("Research",), 0.01, ("US",),
+             flight(2016, 3, 29, 3, 31), 0.0033, 1_178),
+        plan("General-005", general_keywords, 0.05, ("ES",),
+             flight(2016, 2, 15, 2, 23), 0.050, 8_810),
+        plan("General-010", general_keywords, 0.10, ("ES",),
+             flight(2016, 2, 18, 2, 23), 1.25, 42_357),
+    )
+
+    february = PeriodPlan(
+        name="february",
+        start_unix=flight(2016, 2, 15, 2, 23)[0],
+        end_unix=flight(2016, 2, 15, 2, 23)[1],
+        countries=("ES",),
+        fleets=(
+            ("ES", _fleet(CRAWLER_BOT_PROFILE, fleets=1, bots_full_scale=4,
+                          daily_min=25.0, daily_max=45.0, scale=scale,
+                          fleet_focus_size=12)),
+        ),
+    )
+    march = PeriodPlan(
+        name="march",
+        start_unix=flight(2016, 3, 29, 3, 31)[0],
+        end_unix=flight(2016, 3, 29, 3, 31)[1],
+        countries=("ES", "RU", "US"),
+        fleets=(
+            ("ES", _fleet(CRAWLER_BOT_PROFILE, fleets=2, bots_full_scale=45,
+                          daily_min=14.0, daily_max=40.0, scale=scale,
+                          fleet_focus_size=12)),
+            ("RU", _fleet(CRAWLER_BOT_PROFILE, fleets=1, bots_full_scale=3,
+                          daily_min=15.0, daily_max=35.0, scale=scale,
+                          fleet_focus_size=10)),
+            ("US", _fleet(CRAWLER_BOT_PROFILE, fleets=1, bots_full_scale=2,
+                          daily_min=10.0, daily_max=25.0, scale=scale,
+                          fleet_focus_size=8)),
+        ),
+    )
+    april = PeriodPlan(
+        name="april",
+        start_unix=flight(2016, 4, 2, 4, 3)[0],
+        end_unix=flight(2016, 4, 2, 4, 3)[1],
+        countries=("ES",),
+        fleets=(
+            ("ES", _fleet(SPORTS_BOT_PROFILE, fleets=4, bots_full_scale=100,
+                          daily_min=8.0, daily_max=22.0, scale=scale,
+                          dwell_min=2.0, dwell_max=12.0,
+                          aggressive_fraction=0.02,
+                          aggressive_multiplier=20.0,
+                          fleet_focus_size=100)),
+            ("ES", _fleet(CRAWLER_BOT_PROFILE, fleets=1, bots_full_scale=10,
+                          daily_min=20.0, daily_max=60.0, scale=scale,
+                          fleet_focus_size=12)),
+        ),
+    )
+
+    return ExperimentConfig(
+        seed=seed,
+        scale=scale,
+        campaigns=campaigns,
+        periods=(february, march, april),
+    )

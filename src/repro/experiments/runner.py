@@ -1,0 +1,202 @@
+"""End-to-end experiment execution.
+
+Builds the world, runs every flight period through the full pipeline —
+browsing → ad server → beacon script → WebSocket client → collector —
+then applies the vendor's post-hoc fraud refunds, produces the vendor
+reports, enriches + anonymises the collected dataset and assembles the
+:class:`~repro.audit.dataset.AuditDataset` the audits consume.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+
+from repro.adnetwork.conversions import ConversionEvent, ConversionSimulator
+from repro.adnetwork.inventory import ExternalDemand
+from repro.adnetwork.matching import MatchEngine
+from repro.adnetwork.reporting import VendorReport, VendorReporter
+from repro.adnetwork.server import AdServer, NetworkPolicy
+from repro.audit.dataset import AuditDataset
+from repro.beacon.client import BeaconClient
+from repro.beacon.script import BeaconScript
+from repro.collector.enrich import Enricher
+from repro.collector.server import CollectorServer
+from repro.collector.store import ImpressionStore
+from repro.experiments.config import ExperimentConfig, paper_experiment
+from repro.geo.denylist import DenyList
+from repro.geo.ipdb import GeoIpDatabase
+from repro.geo.providers import ProviderRegistry
+from repro.geo.resolver import DataCenterResolver
+from repro.net.transport import SimulatedNetwork
+from repro.taxonomy.lexicon import build_default_lexicon
+from repro.util.rng import RngFactory
+from repro.util.simclock import SimClock
+from repro.web.bots import BotFleet
+from repro.web.browsing import BrowsingSimulator
+from repro.web.population import PublisherUniverse, UniverseConfig
+from repro.web.users import PopulationConfig, UserPopulation
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a table/figure generator or test may want to inspect."""
+
+    config: ExperimentConfig
+    dataset: AuditDataset
+    server: AdServer
+    universe: PublisherUniverse
+    registry: ProviderRegistry
+    collector: CollectorServer
+    network: SimulatedNetwork
+    pageview_count: int = 0
+    stats: dict[str, int] = field(default_factory=dict)
+    #: First-party conversion log (the paper's future-work analysis),
+    #: anonymised with the same salt as the impression dataset.
+    conversions: list[ConversionEvent] = field(default_factory=list)
+
+    def delivered(self, campaign_id: str) -> int:
+        """Ground-truth impressions the network delivered for a campaign."""
+        return len(self.server.impressions_for(campaign_id))
+
+    def logged(self, campaign_id: str) -> int:
+        """Impressions our methodology managed to log for a campaign."""
+        return len(self.dataset.records(campaign_id))
+
+
+class ExperimentRunner:
+    """Executes one :class:`ExperimentConfig`."""
+
+    def __init__(self, config: ExperimentConfig) -> None:
+        self.config = config
+
+    def run(self) -> ExperimentResult:
+        """Run the whole experiment; deterministic in the config's seed."""
+        config = self.config
+        rngs = RngFactory(config.seed)
+        lexicon = build_default_lexicon()
+        tree = lexicon.tree
+
+        universe = PublisherUniverse(
+            rngs.stream("publishers"),
+            UniverseConfig(
+                publisher_count=config.scaled_publisher_count,
+                script_blocking_fraction=config.script_blocking_fraction),
+            lexicon=lexicon)
+        registry = ProviderRegistry(rngs.stream("providers"))
+        population = UserPopulation(
+            rngs.stream("users"), registry, tree,
+            config=PopulationConfig(
+                users_per_country=config.scaled_users_per_country))
+        ipdb = GeoIpDatabase(registry)
+        denylist = DenyList.from_registry(registry)
+        resolver = DataCenterResolver(ipdb, denylist)
+
+        campaigns = [plan.spec for plan in config.campaigns]
+        server = AdServer(campaigns, MatchEngine(lexicon), ExternalDemand(),
+                          ipdb, policy=NetworkPolicy())
+
+        first_start = min(period.start_unix for period in config.periods) \
+            if config.periods else 0.0
+        clock = SimClock(first_start)
+        network = SimulatedNetwork(clock, rngs.stream("network"))
+        store = ImpressionStore()
+        collector = CollectorServer(store)
+        collector.attach(network)
+        beacon_client = BeaconClient(network, collector, clock,
+                                     rngs.stream("beacon-net"))
+        script = BeaconScript()
+        browsing = BrowsingSimulator(universe, tree)
+
+        serve_rng = rngs.stream("serving")
+        script_rng = rngs.stream("script")
+        conversion_sim = ConversionSimulator()
+        conversion_rng = rngs.stream("conversions")
+        conversions: list[ConversionEvent] = []
+        pageview_count = 0
+        for period in sorted(config.periods, key=lambda p: p.start_unix):
+            bots = []
+            for country, bot_config in period.fleets:
+                fleet = BotFleet(rngs.stream(f"bots/{period.name}/{country}"),
+                                 registry, countries=(country,),
+                                 config=bot_config)
+                bots.extend(fleet.bots)
+            humans = []
+            for country in period.countries:
+                humans.extend(population.in_country(country))
+            stream = browsing.stream(humans, bots, period.start_unix,
+                                     period.end_unix,
+                                     rngs.stream(f"browse/{period.name}"))
+            for pageview in stream:
+                pageview_count += 1
+                impression = server.serve(pageview, serve_rng)
+                if impression is None:
+                    continue
+                observation = script.observe(impression, script_rng)
+                if observation is None:
+                    continue
+                beacon_client.deliver(impression, observation)
+                conversion = conversion_sim.simulate(
+                    impression, observation.clicks, conversion_rng)
+                if conversion is not None:
+                    conversions.append(conversion)
+
+        # Post-flight: the vendor's silent fraud clawback, then reports.
+        server.billing.apply_fraud_refunds(server.impressions,
+                                           rngs.stream("refunds"))
+        reporter = VendorReporter()
+        vendor_reports: dict[str, VendorReport] = {}
+        for campaign in campaigns:
+            campaign_id = campaign.campaign_id
+            vendor_reports[campaign_id] = reporter.report(
+                campaign_id, server.impressions_for(campaign_id),
+                charged_eur=server.billing.charged_total(campaign_id),
+                refunded_eur=server.billing.refunded_total(campaign_id))
+
+        enricher = Enricher(ipdb, resolver, universe.ranking)
+        enricher.enrich_store(store)
+        conversions = [event.anonymized(enricher.salt)
+                       for event in conversions]
+
+        dataset = AuditDataset(
+            store=store,
+            campaigns={campaign.campaign_id: campaign
+                       for campaign in campaigns},
+            vendor_reports=vendor_reports,
+            directory={publisher.domain: publisher
+                       for publisher in universe.publishers},
+            lexicon=lexicon,
+            ranking=universe.ranking,
+        )
+        return ExperimentResult(
+            config=config,
+            dataset=dataset,
+            server=server,
+            universe=universe,
+            registry=registry,
+            collector=collector,
+            network=network,
+            pageview_count=pageview_count,
+            conversions=conversions,
+            stats={
+                "pageviews": pageview_count,
+                "delivered": len(server.impressions),
+                "logged": len(store),
+                "prefiltered": server.prefiltered_pageviews,
+                "script_blocked_publisher": script.blocked_by_publisher,
+                "script_blocked_browser": script.blocked_by_browser,
+                "connect_failures": network.failed_connects,
+                "clicks": conversion_sim.clicks_seen,
+                "conversions": conversion_sim.conversions,
+            },
+        )
+
+
+@functools.lru_cache(maxsize=4)
+def run_paper_experiment(seed: int = 2016,
+                         scale: float = 1.0) -> ExperimentResult:
+    """Run (and memoise) the paper's 8-campaign experiment.
+
+    All table/figure benchmarks at the same (seed, scale) share one run.
+    """
+    return ExperimentRunner(paper_experiment(seed=seed, scale=scale)).run()

@@ -1,0 +1,24 @@
+"""IP intelligence substrate.
+
+Stands in for the external services the paper's fraud analysis consumes:
+a MaxMind-style IP→provider/country database, a Botlab-style deny list of
+data-center address space, and the three-stage classification cascade
+(database lookup → deny list → manual provider verification) described in
+§4.2 "Fraud Identification".
+"""
+
+from repro.geo.providers import Provider, ProviderKind, ProviderRegistry
+from repro.geo.ipdb import GeoIpDatabase, IpRecord
+from repro.geo.denylist import DenyList
+from repro.geo.resolver import DataCenterResolver, DcVerdict
+
+__all__ = [
+    "Provider",
+    "ProviderKind",
+    "ProviderRegistry",
+    "GeoIpDatabase",
+    "IpRecord",
+    "DenyList",
+    "DataCenterResolver",
+    "DcVerdict",
+]

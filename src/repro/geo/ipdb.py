@@ -1,0 +1,69 @@
+"""MaxMind-style IP intelligence database.
+
+Maps any IPv4 address to its owning provider, country, and coarse kind via
+longest-prefix-match over the registry's allocations.  This is the first
+stage of the paper's data-center detection cascade ("First, we used MaxMind
+to map each IP address in our dataset to its associated provider").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.geo.providers import Provider, ProviderKind, ProviderRegistry
+from repro.net.cidrtrie import CidrTrie
+
+
+@dataclass(frozen=True)
+class IpRecord:
+    """The database's answer for one address."""
+
+    ip: str
+    provider: str
+    country: str
+    kind: ProviderKind
+
+    @property
+    def looks_hosted(self) -> bool:
+        """True when the owning space is data-center or VPN allocated."""
+        return self.kind in (ProviderKind.DATACENTER, ProviderKind.VPN)
+
+
+class GeoIpDatabase:
+    """Longest-prefix-match database over provider allocations.
+
+    >>> import random
+    >>> registry = ProviderRegistry(random.Random(7))
+    >>> db = GeoIpDatabase(registry)
+    >>> record = db.lookup(registry.providers[0].blocks[0].nth(5))
+    >>> record.provider == registry.providers[0].name
+    True
+    """
+
+    def __init__(self, registry: ProviderRegistry) -> None:
+        self.registry = registry
+        self._trie: CidrTrie[Provider] = CidrTrie()
+        for provider in registry.providers:
+            for block in provider.blocks:
+                self._trie.insert(block, provider)
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+    def lookup(self, ip: str) -> Optional[IpRecord]:
+        """Resolve *ip*; None when the address is unallocated space."""
+        provider = self._trie.lookup(ip)
+        if provider is None:
+            return None
+        return IpRecord(ip=ip, provider=provider.name,
+                        country=provider.country, kind=provider.kind)
+
+    def provider_of(self, ip: str) -> Optional[Provider]:
+        """The full provider object owning *ip*, if any."""
+        return self._trie.lookup(ip)
+
+    def country_of(self, ip: str) -> Optional[str]:
+        """Country code for *ip* (geo-targeting uses this)."""
+        record = self.lookup(ip)
+        return record.country if record else None

@@ -1,0 +1,85 @@
+"""Three-stage data-center classification cascade (paper §4.2).
+
+1. **ipdb** — resolve the IP to its provider via the MaxMind-style DB.
+2. **denylist** — is the address inside the published deny-hosting list?
+3. **manual** — for remaining addresses, "manually verify the website of
+   its associated provider to assess whether it offered a Data Center
+   service": modelled by the provider's ``advertises_hosting`` flag.
+
+VPN providers are the deliberate exception: their space is hosted but the
+industry guidance does not count it as invalid traffic, and their websites
+advertise VPN service rather than hosting, so the cascade clears them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.geo.denylist import DenyList
+from repro.geo.ipdb import GeoIpDatabase
+
+
+class DcStage(enum.Enum):
+    """Which cascade stage produced the verdict."""
+
+    UNRESOLVED = "unresolved"
+    DENYLIST = "denylist"
+    MANUAL = "manual"
+    CLEARED = "cleared"
+
+
+@dataclass(frozen=True)
+class DcVerdict:
+    """Outcome of classifying one IP."""
+
+    ip: str
+    is_datacenter: bool
+    stage: DcStage
+    provider: Optional[str]
+
+    def __bool__(self) -> bool:
+        return self.is_datacenter
+
+
+class DataCenterResolver:
+    """Classify IPs as data-center traffic using the 3-stage cascade."""
+
+    def __init__(self, ipdb: GeoIpDatabase, denylist: DenyList,
+                 enable_denylist: bool = True,
+                 enable_manual: bool = True) -> None:
+        self.ipdb = ipdb
+        self.denylist = denylist
+        self.enable_denylist = enable_denylist
+        self.enable_manual = enable_manual
+        self.stage_counts: dict[DcStage, int] = {stage: 0 for stage in DcStage}
+
+    def classify(self, ip: str) -> DcVerdict:
+        """Run the cascade for one address and record stage statistics."""
+        record = self.ipdb.lookup(ip)
+        if record is None:
+            verdict = DcVerdict(ip=ip, is_datacenter=False,
+                                stage=DcStage.UNRESOLVED, provider=None)
+            self.stage_counts[DcStage.UNRESOLVED] += 1
+            return verdict
+        if self.enable_denylist and self.denylist.covers(ip):
+            verdict = DcVerdict(ip=ip, is_datacenter=True,
+                                stage=DcStage.DENYLIST, provider=record.provider)
+            self.stage_counts[DcStage.DENYLIST] += 1
+            return verdict
+        if self.enable_manual:
+            provider = self.ipdb.provider_of(ip)
+            if provider is not None and provider.advertises_hosting:
+                verdict = DcVerdict(ip=ip, is_datacenter=True,
+                                    stage=DcStage.MANUAL, provider=record.provider)
+                self.stage_counts[DcStage.MANUAL] += 1
+                return verdict
+        verdict = DcVerdict(ip=ip, is_datacenter=False,
+                            stage=DcStage.CLEARED, provider=record.provider)
+        self.stage_counts[DcStage.CLEARED] += 1
+        return verdict
+
+    def is_datacenter(self, ip: str) -> bool:
+        """Shorthand: just the boolean verdict."""
+        return self.classify(ip).is_datacenter

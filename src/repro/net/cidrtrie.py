@@ -1,0 +1,104 @@
+"""Binary trie for longest-prefix-match over CIDR blocks.
+
+This is the lookup structure behind the MaxMind-style IP database and the
+Botlab-style deny list: insert (CIDR → value) pairs, then resolve any IPv4
+address to the value of the most specific covering prefix, in O(32) bit
+steps per lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, Optional, TypeVar
+
+from repro.net.ipv4 import Cidr, ip_to_int, parse_cidr
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: list[Optional[_Node[V]]] = [None, None]
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+class CidrTrie(Generic[V]):
+    """Map from CIDR prefixes to values with longest-prefix-match lookup.
+
+    >>> trie = CidrTrie()
+    >>> trie.insert("10.0.0.0/8", "corp")
+    >>> trie.insert("10.1.0.0/16", "lab")
+    >>> trie.lookup("10.1.2.3")
+    'lab'
+    >>> trie.lookup("10.9.9.9")
+    'corp'
+    >>> trie.lookup("8.8.8.8") is None
+    True
+    """
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, cidr: str | Cidr, value: V) -> None:
+        """Insert or replace the value for a prefix."""
+        block = parse_cidr(cidr) if isinstance(cidr, str) else cidr
+        node = self._root
+        for depth in range(block.prefix):
+            bit = (block.network >> (31 - depth)) & 1
+            if node.children[bit] is None:
+                node.children[bit] = _Node()
+            node = node.children[bit]  # type: ignore[assignment]
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def lookup(self, ip: str) -> Optional[V]:
+        """Value of the longest prefix covering *ip*, or None."""
+        result = self.lookup_with_prefix(ip)
+        return result[1] if result else None
+
+    def lookup_with_prefix(self, ip: str) -> Optional[tuple[Cidr, V]]:
+        """(covering CIDR, value) of the longest match, or None."""
+        address = ip_to_int(ip)
+        node = self._root
+        best: Optional[tuple[int, V]] = None
+        if node.has_value:
+            best = (0, node.value)  # type: ignore[arg-type]
+        for depth in range(32):
+            bit = (address >> (31 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            node = child
+            if node.has_value:
+                best = (depth + 1, node.value)  # type: ignore[arg-type]
+        if best is None:
+            return None
+        prefix_len, value = best
+        mask = ((1 << prefix_len) - 1) << (32 - prefix_len) if prefix_len else 0
+        return Cidr(address & mask, prefix_len), value
+
+    def covers(self, ip: str) -> bool:
+        """True if any inserted prefix contains *ip*."""
+        return self.lookup_with_prefix(ip) is not None
+
+    def items(self) -> Iterator[tuple[Cidr, V]]:
+        """Iterate (CIDR, value) pairs in prefix order (DFS, 0-branch first)."""
+
+        def walk(node: _Node[V], bits: int, depth: int) -> Iterator[tuple[Cidr, V]]:
+            if node.has_value:
+                network = bits << (32 - depth) if depth else 0
+                yield Cidr(network, depth), node.value  # type: ignore[misc]
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    yield from walk(child, (bits << 1) | bit, depth + 1)
+
+        yield from walk(self._root, 0, 0)

@@ -1,0 +1,298 @@
+"""RFC 6455 WebSocket framing and opening handshake.
+
+The paper's beacon ships its measurements to the collector over WebSocket
+(reference [25], RFC 6455).  This module implements the wire format from
+scratch: the HTTP/1.1 upgrade handshake with the Sec-WebSocket-Accept key
+derivation, and full frame encode/decode with client-side masking, 7/16/64
+bit payload lengths, fragmentation, and control frames.
+
+Only what a beacon-to-collector pipeline needs is implemented — no
+extensions, no subprotocol negotiation — but what is implemented follows
+the RFC closely enough to interoperate at the byte level.
+"""
+
+from __future__ import annotations
+
+import base64
+import enum
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+#: RFC 6455 §1.3 — fixed GUID appended to the client key before hashing.
+WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+_MAX_CONTROL_PAYLOAD = 125
+
+
+class WebSocketError(Exception):
+    """Protocol violation while encoding, decoding, or handshaking."""
+
+
+class Opcode(enum.IntEnum):
+    """Frame opcodes defined by RFC 6455 §5.2."""
+
+    CONTINUATION = 0x0
+    TEXT = 0x1
+    BINARY = 0x2
+    CLOSE = 0x8
+    PING = 0x9
+    PONG = 0xA
+
+    @property
+    def is_control(self) -> bool:
+        return self >= Opcode.CLOSE
+
+
+@dataclass(frozen=True)
+class Frame:
+    """A decoded WebSocket frame."""
+
+    opcode: Opcode
+    payload: bytes
+    fin: bool = True
+    masked: bool = False
+
+    def __post_init__(self) -> None:
+        if self.opcode.is_control:
+            if not self.fin:
+                raise WebSocketError("control frames must not be fragmented")
+            if len(self.payload) > _MAX_CONTROL_PAYLOAD:
+                raise WebSocketError("control frame payload exceeds 125 bytes")
+
+    @property
+    def text(self) -> str:
+        """Payload decoded as UTF-8 (the beacon sends text frames)."""
+        try:
+            return self.payload.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WebSocketError("invalid UTF-8 in text frame") from exc
+
+
+def _apply_mask(payload: bytes, mask: bytes) -> bytes:
+    """XOR-mask (or unmask — the operation is its own inverse)."""
+    if len(mask) != 4:
+        raise WebSocketError("mask key must be 4 bytes")
+    return bytes(byte ^ mask[index % 4] for index, byte in enumerate(payload))
+
+
+def encode_frame(frame: Frame, mask_key: Optional[bytes] = None,
+                 rng: Optional[random.Random] = None) -> bytes:
+    """Serialise a frame to wire bytes.
+
+    If ``frame.masked`` is true a 4-byte masking key is used — supplied via
+    *mask_key* or drawn from *rng* (client-to-server frames MUST be masked
+    per RFC 6455 §5.3; the simulated beacon always masks).
+    """
+    header = bytearray()
+    header.append((0x80 if frame.fin else 0x00) | int(frame.opcode))
+    length = len(frame.payload)
+    mask_bit = 0x80 if frame.masked else 0x00
+    if length <= 125:
+        header.append(mask_bit | length)
+    elif length <= 0xFFFF:
+        header.append(mask_bit | 126)
+        header += length.to_bytes(2, "big")
+    else:
+        header.append(mask_bit | 127)
+        header += length.to_bytes(8, "big")
+    if frame.masked:
+        if mask_key is None:
+            source = rng if rng is not None else random
+            mask_key = bytes(source.getrandbits(8) for _ in range(4))
+        if len(mask_key) != 4:
+            raise WebSocketError("mask key must be 4 bytes")
+        header += mask_key
+        return bytes(header) + _apply_mask(frame.payload, mask_key)
+    return bytes(header) + frame.payload
+
+
+def decode_frame(data: bytes) -> tuple[Frame, int]:
+    """Decode one frame from the head of *data*.
+
+    Returns ``(frame, bytes_consumed)``.  Raises :class:`WebSocketError` on
+    malformed input and ``IncompleteFrame`` (a subclass) when more bytes are
+    needed — callers that stream should use :class:`FrameDecoder` instead.
+    """
+    if len(data) < 2:
+        raise IncompleteFrame("need at least 2 header bytes")
+    first, second = data[0], data[1]
+    fin = bool(first & 0x80)
+    if first & 0x70:
+        raise WebSocketError("reserved bits set (no extensions negotiated)")
+    try:
+        opcode = Opcode(first & 0x0F)
+    except ValueError as exc:
+        raise WebSocketError(f"unknown opcode {first & 0x0F:#x}") from exc
+    masked = bool(second & 0x80)
+    length = second & 0x7F
+    offset = 2
+    if opcode.is_control and length > _MAX_CONTROL_PAYLOAD:
+        raise WebSocketError("control frame payload exceeds 125 bytes")
+    if length == 126:
+        if len(data) < offset + 2:
+            raise IncompleteFrame("need 16-bit length")
+        length = int.from_bytes(data[offset:offset + 2], "big")
+        if length <= 125:
+            raise WebSocketError("non-minimal 16-bit length encoding")
+        offset += 2
+    elif length == 127:
+        if len(data) < offset + 8:
+            raise IncompleteFrame("need 64-bit length")
+        length = int.from_bytes(data[offset:offset + 8], "big")
+        if length <= 0xFFFF:
+            raise WebSocketError("non-minimal 64-bit length encoding")
+        if length >> 63:
+            raise WebSocketError("most significant length bit must be 0")
+        offset += 8
+    mask_key = b""
+    if masked:
+        if len(data) < offset + 4:
+            raise IncompleteFrame("need masking key")
+        mask_key = data[offset:offset + 4]
+        offset += 4
+    if len(data) < offset + length:
+        raise IncompleteFrame("need full payload")
+    payload = data[offset:offset + length]
+    if masked:
+        payload = _apply_mask(payload, mask_key)
+    return Frame(opcode=opcode, payload=payload, fin=fin, masked=masked), offset + length
+
+
+class IncompleteFrame(WebSocketError):
+    """More bytes are required before a frame can be decoded."""
+
+
+class FrameDecoder:
+    """Incremental decoder: feed arbitrary byte chunks, iterate frames.
+
+    Mirrors how the collector's event loop consumes a TCP stream — frames
+    may arrive split across segments or coalesced.
+
+    >>> decoder = FrameDecoder()
+    >>> wire = encode_frame(Frame(Opcode.TEXT, b"hi", masked=True),
+    ...                     mask_key=b"\\x01\\x02\\x03\\x04")
+    >>> [frame.text for frame in decoder.feed(wire)]
+    ['hi']
+    """
+
+    def __init__(self, require_masked: bool = False) -> None:
+        self._buffer = bytearray()
+        self.require_masked = require_masked
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet decodable into a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> Iterator[Frame]:
+        """Buffer *data* and yield every complete frame now available."""
+        self._buffer.extend(data)
+        while True:
+            try:
+                frame, consumed = decode_frame(bytes(self._buffer))
+            except IncompleteFrame:
+                return
+            del self._buffer[:consumed]
+            if self.require_masked and not frame.masked:
+                raise WebSocketError("server received unmasked client frame")
+            yield frame
+
+
+class MessageAssembler:
+    """Reassemble fragmented messages from a frame stream (RFC 6455 §5.4)."""
+
+    def __init__(self) -> None:
+        self._opcode: Optional[Opcode] = None
+        self._parts: list[bytes] = []
+
+    def push(self, frame: Frame) -> Optional[tuple[Opcode, bytes]]:
+        """Add a data frame; returns (opcode, payload) when a message completes."""
+        if frame.opcode.is_control:
+            raise WebSocketError("control frames are not message fragments")
+        if frame.opcode == Opcode.CONTINUATION:
+            if self._opcode is None:
+                raise WebSocketError("continuation frame with no message in progress")
+        else:
+            if self._opcode is not None:
+                raise WebSocketError("new data frame while message in progress")
+            self._opcode = frame.opcode
+        self._parts.append(frame.payload)
+        if not frame.fin:
+            return None
+        opcode, payload = self._opcode, b"".join(self._parts)
+        self._opcode, self._parts = None, []
+        return opcode, payload
+
+
+def accept_key(client_key: str) -> str:
+    """Derive Sec-WebSocket-Accept from Sec-WebSocket-Key (RFC 6455 §4.2.2)."""
+    digest = hashlib.sha1((client_key + WS_GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def make_client_key(rng: Optional[random.Random] = None) -> str:
+    """A random 16-byte base64 client nonce for the opening handshake."""
+    source = rng if rng is not None else random
+    nonce = bytes(source.getrandbits(8) for _ in range(16))
+    return base64.b64encode(nonce).decode("ascii")
+
+
+def make_handshake_request(host: str, path: str, client_key: str,
+                           origin: str = "") -> bytes:
+    """The client's HTTP/1.1 upgrade request."""
+    lines = [
+        f"GET {path} HTTP/1.1",
+        f"Host: {host}",
+        "Upgrade: websocket",
+        "Connection: Upgrade",
+        f"Sec-WebSocket-Key: {client_key}",
+        "Sec-WebSocket-Version: 13",
+    ]
+    if origin:
+        lines.append(f"Origin: {origin}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+
+
+def make_handshake_response(client_key: str) -> bytes:
+    """The server's 101 Switching Protocols response."""
+    lines = [
+        "HTTP/1.1 101 Switching Protocols",
+        "Upgrade: websocket",
+        "Connection: Upgrade",
+        f"Sec-WebSocket-Accept: {accept_key(client_key)}",
+    ]
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+
+
+def parse_handshake_request(raw: bytes) -> dict[str, str]:
+    """Parse an upgrade request; returns lower-cased header map (+ 'path').
+
+    Raises :class:`WebSocketError` unless the request is a well-formed
+    WebSocket upgrade (GET, Upgrade/Connection headers, version 13, key).
+    """
+    try:
+        text = raw.decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise WebSocketError("handshake is not ASCII") from exc
+    head, _, _ = text.partition("\r\n\r\n")
+    lines = head.split("\r\n")
+    request_line = lines[0].split(" ")
+    if len(request_line) != 3 or request_line[0] != "GET":
+        raise WebSocketError(f"bad request line: {lines[0]!r}")
+    headers: dict[str, str] = {"path": request_line[1]}
+    for line in lines[1:]:
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise WebSocketError(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    if headers.get("upgrade", "").lower() != "websocket":
+        raise WebSocketError("missing Upgrade: websocket")
+    if "upgrade" not in headers.get("connection", "").lower():
+        raise WebSocketError("missing Connection: Upgrade")
+    if headers.get("sec-websocket-version") != "13":
+        raise WebSocketError("unsupported WebSocket version")
+    if not headers.get("sec-websocket-key"):
+        raise WebSocketError("missing Sec-WebSocket-Key")
+    return headers

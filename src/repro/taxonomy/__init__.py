@@ -1,0 +1,24 @@
+"""Topic taxonomy substrate.
+
+Stands in for WordNet in the paper's context analysis: a hand-built topic
+hierarchy over which Leacock–Chodorow similarity is computed, plus the
+lexicon tying campaign keywords and publisher themes to taxonomy nodes.
+"""
+
+from repro.taxonomy.tree import TaxonomyTree, TaxonomyError
+from repro.taxonomy.similarity import lch_similarity, max_lch_similarity
+from repro.taxonomy.lexicon import (
+    build_default_taxonomy,
+    Lexicon,
+    build_default_lexicon,
+)
+
+__all__ = [
+    "TaxonomyTree",
+    "TaxonomyError",
+    "lch_similarity",
+    "max_lch_similarity",
+    "build_default_taxonomy",
+    "Lexicon",
+    "build_default_lexicon",
+]

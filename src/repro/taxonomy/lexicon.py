@@ -1,0 +1,249 @@
+"""The default topic ontology and keyword lexicon.
+
+``build_default_taxonomy`` constructs the hierarchy the simulation and the
+context audit share; ``Lexicon`` maps free-text keywords (campaign targeting
+strings, publisher keyword lists) onto taxonomy nodes.
+
+The ontology is sized like a pruned WordNet domain slice: ~190 nodes across
+the content verticals display campaigns actually touch, including the
+brand-unsafe verticals (adult, gambling, piracy) the brand-safety audit
+needs to flag.
+"""
+
+from __future__ import annotations
+
+from repro.taxonomy.tree import TaxonomyTree
+
+#: (branch path under the root). Paths share prefixes, so e.g. both football
+#: and basketball hang off sports.
+_BRANCHES: tuple[tuple[str, ...], ...] = (
+    # Science & education — the "Research" campaigns' home turf.
+    ("science", "research"),
+    ("science", "research", "academic-publishing"),
+    ("science", "research", "laboratories"),
+    ("science", "research", "research-grants"),
+    ("science", "education"),
+    ("science", "education", "universities"),
+    ("science", "education", "universities", "postgraduate"),
+    ("science", "education", "schools"),
+    ("science", "education", "online-courses"),
+    ("science", "engineering"),
+    ("science", "engineering", "telematics"),
+    ("science", "engineering", "telecommunications"),
+    ("science", "engineering", "robotics"),
+    ("science", "physics"),
+    ("science", "biology"),
+    ("science", "chemistry"),
+    ("science", "mathematics"),
+    # Sports — the "Football" campaigns' home turf.
+    ("sports", "football"),
+    ("sports", "football", "la-liga"),
+    ("sports", "football", "premier-league"),
+    ("sports", "football", "champions-league"),
+    ("sports", "football", "transfers"),
+    ("sports", "basketball"),
+    ("sports", "tennis"),
+    ("sports", "cycling"),
+    ("sports", "motorsport"),
+    ("sports", "betting-sports"),
+    # News & media.
+    ("news", "national-news"),
+    ("news", "international-news"),
+    ("news", "local-news"),
+    ("news", "politics"),
+    ("news", "weather"),
+    ("news", "press-agencies"),
+    # Entertainment.
+    ("entertainment", "movies"),
+    ("entertainment", "television"),
+    ("entertainment", "music"),
+    ("entertainment", "celebrities"),
+    ("entertainment", "video-games"),
+    ("entertainment", "video-games", "mmorpg"),
+    ("entertainment", "streaming"),
+    ("entertainment", "humor"),
+    # Technology.
+    ("technology", "software"),
+    ("technology", "software", "mobile-apps"),
+    ("technology", "software", "operating-systems"),
+    ("technology", "hardware"),
+    ("technology", "hardware", "smartphones"),
+    ("technology", "internet"),
+    ("technology", "internet", "web-development"),
+    ("technology", "internet", "social-networks"),
+    ("technology", "security"),
+    # Lifestyle.
+    ("lifestyle", "travel"),
+    ("lifestyle", "travel", "hotels"),
+    ("lifestyle", "travel", "flights"),
+    ("lifestyle", "travel", "tourism"),
+    ("lifestyle", "food"),
+    ("lifestyle", "food", "recipes"),
+    ("lifestyle", "fashion"),
+    ("lifestyle", "health"),
+    ("lifestyle", "health", "fitness"),
+    ("lifestyle", "health", "nutrition"),
+    ("lifestyle", "parenting"),
+    ("lifestyle", "home-garden"),
+    ("lifestyle", "automotive"),
+    ("lifestyle", "automotive", "car-reviews"),
+    # Commerce.
+    ("commerce", "shopping"),
+    ("commerce", "shopping", "classifieds"),
+    ("commerce", "shopping", "coupons"),
+    ("commerce", "shopping", "electronics-retail"),
+    ("commerce", "finance"),
+    ("commerce", "finance", "banking"),
+    ("commerce", "finance", "insurance"),
+    ("commerce", "finance", "forex"),
+    ("commerce", "real-estate"),
+    ("commerce", "jobs"),
+    ("commerce", "jobs", "job-boards"),
+    # Brand-unsafe verticals.
+    ("unsafe", "adult"),
+    ("unsafe", "gambling"),
+    ("unsafe", "gambling", "online-casino"),
+    ("unsafe", "piracy"),
+    ("unsafe", "piracy", "torrents"),
+    ("unsafe", "weapons"),
+    ("unsafe", "clickbait"),
+)
+
+#: keyword → taxonomy node. Keywords are matched lower-cased.
+_KEYWORD_MAP: dict[str, str] = {
+    # campaign targeting vocabulary
+    "research": "research",
+    "science": "science",
+    "scientific research": "research",
+    "universities": "universities",
+    "university": "universities",
+    "telematics": "telematics",
+    "telecommunications": "telecommunications",
+    "engineering": "engineering",
+    "education": "education",
+    "football": "football",
+    "soccer": "football",
+    "la liga": "la-liga",
+    "premier league": "premier-league",
+    "champions league": "champions-league",
+    "sports": "sports",
+    "basketball": "basketball",
+    "tennis": "tennis",
+    # publisher-side vocabulary
+    "news": "news",
+    "politics": "politics",
+    "weather": "weather",
+    "movies": "movies",
+    "cinema": "movies",
+    "tv": "television",
+    "music": "music",
+    "games": "video-games",
+    "gaming": "video-games",
+    "streaming": "streaming",
+    "software": "software",
+    "apps": "mobile-apps",
+    "smartphones": "smartphones",
+    "internet": "internet",
+    "web": "web-development",
+    "social": "social-networks",
+    "security": "security",
+    "travel": "travel",
+    "hotels": "hotels",
+    "flights": "flights",
+    "tourism": "tourism",
+    "food": "food",
+    "recipes": "recipes",
+    "fashion": "fashion",
+    "health": "health",
+    "fitness": "fitness",
+    "cars": "automotive",
+    "shopping": "shopping",
+    "classifieds": "classifieds",
+    "deals": "coupons",
+    "finance": "finance",
+    "banking": "banking",
+    "insurance": "insurance",
+    "forex": "forex",
+    "real estate": "real-estate",
+    "jobs": "jobs",
+    "employment": "job-boards",
+    "adult": "adult",
+    "casino": "online-casino",
+    "betting": "gambling",
+    "poker": "gambling",
+    "torrents": "torrents",
+    "downloads": "piracy",
+    "celebrity": "celebrities",
+    "humor": "humor",
+    "laboratory": "laboratories",
+    "grants": "research-grants",
+    "postgraduate": "postgraduate",
+    "online courses": "online-courses",
+    "robotics": "robotics",
+    "physics": "physics",
+    "biology": "biology",
+    "chemistry": "chemistry",
+    "mathematics": "mathematics",
+}
+
+
+def build_default_taxonomy() -> TaxonomyTree:
+    """Construct the default ontology (root node ``entity``)."""
+    tree = TaxonomyTree("entity")
+    for branch in _BRANCHES:
+        tree.add_path(*branch)
+    return tree
+
+
+class Lexicon:
+    """Keyword ↔ taxonomy mapping with normalisation.
+
+    Campaign keywords and publisher keyword lists are free text; the audit
+    needs them as taxonomy nodes before it can compute LCH similarity.
+    Unknown keywords resolve to None (and the context audit then falls back
+    to literal string matching, as the paper's criterion 1 does).
+    """
+
+    def __init__(self, tree: TaxonomyTree, keyword_map: dict[str, str]) -> None:
+        self.tree = tree
+        self._map: dict[str, str] = {}
+        for keyword, node in keyword_map.items():
+            if node not in tree:
+                raise KeyError(f"lexicon maps {keyword!r} to unknown node {node!r}")
+            self._map[self.normalize(keyword)] = node
+
+    @staticmethod
+    def normalize(keyword: str) -> str:
+        """Canonical keyword form: lower-cased, collapsed whitespace."""
+        return " ".join(keyword.lower().split())
+
+    def topic_of(self, keyword: str) -> str | None:
+        """Taxonomy node for *keyword*, or None when out of vocabulary."""
+        normalized = self.normalize(keyword)
+        if normalized in self._map:
+            return self._map[normalized]
+        # A keyword that literally names a node is its own topic.
+        if normalized in self.tree:
+            return normalized
+        return None
+
+    def topics_of(self, keywords: list[str]) -> list[str]:
+        """Resolve a keyword list, dropping out-of-vocabulary entries and
+        de-duplicating while preserving order."""
+        seen: set[str] = set()
+        topics: list[str] = []
+        for keyword in keywords:
+            node = self.topic_of(keyword)
+            if node is not None and node not in seen:
+                seen.add(node)
+                topics.append(node)
+        return topics
+
+    def vocabulary(self) -> list[str]:
+        """All known keyword forms (normalised)."""
+        return sorted(self._map)
+
+
+def build_default_lexicon() -> Lexicon:
+    """The default lexicon bound to the default taxonomy."""
+    return Lexicon(build_default_taxonomy(), _KEYWORD_MAP)

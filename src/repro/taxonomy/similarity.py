@@ -1,0 +1,66 @@
+"""Leacock–Chodorow semantic similarity.
+
+The paper judges a publisher *contextually meaningful* when any of its
+topics is "semantically similar" to any campaign keyword, using
+Leacock–Chodorow as in Carrascosa et al. (CoNEXT'15).  LCH over a rooted
+taxonomy is
+
+    sim(a, b) = -log( len(a, b) / (2 * D) )
+
+where ``len`` is the shortest path between the concepts counted in *nodes*
+(edges + 1, so identical concepts have length 1) and ``D`` is the maximum
+depth of the taxonomy in nodes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.taxonomy.tree import TaxonomyTree
+
+
+def lch_similarity(tree: TaxonomyTree, a: str, b: str) -> float:
+    """Leacock–Chodorow similarity between two taxonomy nodes.
+
+    Higher is more similar; identical nodes score ``-log(1 / 2D)`` which is
+    the maximum attainable value for the taxonomy.
+    """
+    length_nodes = tree.path_length(a, b) + 1
+    return -math.log(length_nodes / (2.0 * tree.max_depth))
+
+
+def max_similarity_value(tree: TaxonomyTree) -> float:
+    """The LCH score of a node with itself (the scale's ceiling)."""
+    return -math.log(1.0 / (2.0 * tree.max_depth))
+
+
+def max_lch_similarity(tree: TaxonomyTree, topics_a: Iterable[str],
+                       topics_b: Iterable[str]) -> float:
+    """Best LCH score over the cross product of two topic sets.
+
+    This is the publisher-vs-campaign comparison: each side contributes all
+    its topics and the most similar pair decides.  Returns ``-inf`` when
+    either side is empty.
+    """
+    best = float("-inf")
+    topics_b = list(topics_b)
+    for topic_a in topics_a:
+        for topic_b in topics_b:
+            score = lch_similarity(tree, topic_a, topic_b)
+            if score > best:
+                best = score
+    return best
+
+
+def similarity_threshold(tree: TaxonomyTree, max_path_edges: int = 3) -> float:
+    """The LCH score of two nodes *max_path_edges* apart.
+
+    Used as the decision boundary: concepts within this path distance count
+    as semantically similar.  The default of 3 edges admits siblings and
+    uncle/nephew pairs but rejects cross-branch pairs in the default
+    taxonomy.
+    """
+    if max_path_edges < 0:
+        raise ValueError("max_path_edges must be non-negative")
+    return -math.log((max_path_edges + 1) / (2.0 * tree.max_depth))

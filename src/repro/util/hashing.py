@@ -1,0 +1,39 @@
+"""Hashing helpers: stable identifiers and IP anonymisation.
+
+The paper stores raw IPs only transiently: meta-data (ISP, country,
+data-center status) is extracted first and the address is then anonymised
+"using hashing techniques".  We reproduce that with a salted SHA-256 whose
+salt is campaign-scoped, so the same device is linkable *within* a campaign
+dataset but not across datasets.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def stable_hash(*parts: str, bits: int = 64) -> int:
+    """Deterministic integer hash of the given string parts.
+
+    Unlike the builtin ``hash``, the result is stable across processes
+    (``PYTHONHASHSEED`` does not affect it), which the simulation relies on
+    for reproducible identifier assignment.
+    """
+    if bits <= 0 or bits > 256 or bits % 8 != 0:
+        raise ValueError("bits must be a positive multiple of 8, at most 256")
+    joined = "\x1f".join(parts)
+    digest = hashlib.sha256(joined.encode("utf-8")).digest()
+    return int.from_bytes(digest[: bits // 8], "big")
+
+
+def anonymize_ip(ip: str, salt: str = "") -> str:
+    """One-way anonymisation of an IP address.
+
+    Returns a 16-hex-character token.  Identical (ip, salt) pairs map to the
+    same token, so per-user analyses (frequency capping) still work on the
+    anonymised dataset; different salts unlink datasets from each other.
+    """
+    if not ip:
+        raise ValueError("ip must be non-empty")
+    digest = hashlib.sha256(f"{salt}|{ip}".encode("utf-8")).hexdigest()
+    return digest[:16]

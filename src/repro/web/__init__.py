@@ -1,0 +1,31 @@
+"""Synthetic web ecosystem.
+
+Generates the world the ad network serves into: a Zipf-popularity publisher
+universe with topical content (including brand-unsafe verticals), an
+Alexa-like ranking service, a human user population (per-country ISP IPs,
+NATs, multiple User-Agents, interest-driven browsing) and data-center-hosted
+bot fleets.
+"""
+
+from repro.web.publisher import Publisher
+from repro.web.ranking import RankingService
+from repro.web.population import PublisherUniverse, UniverseConfig
+from repro.web.users import Device, UserPopulation, PopulationConfig
+from repro.web.bots import Bot, BotFleet, BotConfig
+from repro.web.browsing import Pageview, BrowsingSimulator, BrowsingConfig
+
+__all__ = [
+    "Publisher",
+    "RankingService",
+    "PublisherUniverse",
+    "UniverseConfig",
+    "Device",
+    "UserPopulation",
+    "PopulationConfig",
+    "Bot",
+    "BotFleet",
+    "BotConfig",
+    "Pageview",
+    "BrowsingSimulator",
+    "BrowsingConfig",
+]

@@ -1,0 +1,50 @@
+"""Shared fixtures for the ad-network tests."""
+
+import random
+
+import pytest
+
+from repro.adnetwork.campaign import CampaignSpec
+from repro.taxonomy.lexicon import build_default_lexicon
+from repro.web.browsing import Pageview
+from repro.web.publisher import Publisher
+
+START, END = CampaignSpec.flight(2016, 4, 2, 4, 3)
+
+
+@pytest.fixture(scope="module")
+def lexicon():
+    return build_default_lexicon()
+
+
+@pytest.fixture
+def football_campaign():
+    return CampaignSpec(campaign_id="Football-010", keywords=("Football",),
+                        cpm_eur=0.10, target_countries=("ES",),
+                        start_unix=START, end_unix=END,
+                        daily_budget_eur=5.0)
+
+
+def make_publisher(domain="futbol9.es", topics=("football",),
+                   keywords=("football",), rank=5000, **overrides):
+    defaults = dict(domain=domain, global_rank=rank, country_focus="ES",
+                    topics=tuple(topics), keywords=tuple(keywords))
+    defaults.update(overrides)
+    return Publisher(**defaults)
+
+
+def make_pageview(publisher=None, timestamp=START + 3600.0, ip="2.0.0.1",
+                  user_agent="UA-1", country="ES", interests=(),
+                  dwell=10.0, is_bot=False, visitor_id=1):
+    if publisher is None:
+        publisher = make_publisher()
+    return Pageview(timestamp=timestamp, publisher=publisher,
+                    url=publisher.url_for_page(1), ip=ip,
+                    user_agent=user_agent, country=country,
+                    interests=tuple(interests), dwell_seconds=dwell,
+                    is_bot=is_bot, visitor_id=visitor_id)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1234)

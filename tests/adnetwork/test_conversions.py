@@ -1,0 +1,104 @@
+"""Tests for repro.adnetwork.conversions — the post-click funnel."""
+
+import random
+
+import pytest
+
+from repro.adnetwork.conversions import (
+    ConversionConfig,
+    ConversionEvent,
+    ConversionSimulator,
+)
+from repro.adnetwork.matching import MatchDecision, MatchReason
+from repro.adnetwork.server import DeliveredImpression
+from repro.adnetwork.viewability import Exposure
+from tests.adnetwork.conftest import make_pageview, make_publisher
+
+
+def make_impression(campaign, is_bot=False):
+    pageview = make_pageview(make_publisher(), is_bot=is_bot)
+    return DeliveredImpression(
+        impression_id=1, campaign=campaign, pageview=pageview,
+        exposure=Exposure(0.5, 5.0, True),
+        match=MatchDecision(True, MatchReason.CONTEXTUAL),
+        clearing_cpm=0.05)
+
+
+class TestConversionEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConversionEvent(campaign_id="", timestamp=0, ip="1.1.1.1",
+                            user_agent="UA", value_eur=10.0)
+        with pytest.raises(ValueError):
+            ConversionEvent(campaign_id="c", timestamp=0, ip="1.1.1.1",
+                            user_agent="UA", value_eur=0.0)
+        with pytest.raises(ValueError):
+            ConversionEvent(campaign_id="c", timestamp=0, ip="",
+                            user_agent="UA", value_eur=10.0)
+
+    def test_anonymized_replaces_ip_with_token(self):
+        event = ConversionEvent(campaign_id="c", timestamp=0, ip="1.1.1.1",
+                                user_agent="UA", value_eur=10.0)
+        anonymous = event.anonymized("salt")
+        assert anonymous.ip == ""
+        assert len(anonymous.ip_token) == 16
+        # Idempotent.
+        assert anonymous.anonymized("salt") == anonymous
+
+    def test_token_matches_impression_store_scheme(self):
+        from repro.util.hashing import anonymize_ip
+
+        event = ConversionEvent(campaign_id="c", timestamp=0, ip="1.1.1.1",
+                                user_agent="UA", value_eur=10.0)
+        assert event.anonymized("s").user_key == \
+            f"{anonymize_ip('1.1.1.1', salt='s')}\x1fUA"
+
+
+class TestConversionConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConversionConfig(human_conversion_rate=1.5)
+        with pytest.raises(ValueError):
+            ConversionConfig(deliberation_min_seconds=100,
+                             deliberation_max_seconds=50)
+        with pytest.raises(ValueError):
+            ConversionConfig(order_value_min_eur=0)
+
+
+class TestConversionSimulator:
+    def test_no_click_no_conversion(self, football_campaign):
+        simulator = ConversionSimulator(
+            ConversionConfig(human_conversion_rate=1.0))
+        impression = make_impression(football_campaign)
+        assert simulator.simulate(impression, 0, random.Random(0)) is None
+        assert simulator.clicks_seen == 0
+
+    def test_human_click_converts_at_full_rate(self, football_campaign):
+        simulator = ConversionSimulator(
+            ConversionConfig(human_conversion_rate=1.0))
+        impression = make_impression(football_campaign)
+        event = simulator.simulate(impression, 1, random.Random(0))
+        assert event is not None
+        assert event.campaign_id == "Football-010"
+        assert event.ip == impression.pageview.ip
+        assert event.timestamp > impression.pageview.timestamp
+        assert event.value_eur > 0
+
+    def test_bots_never_convert_by_default(self, football_campaign):
+        simulator = ConversionSimulator(
+            ConversionConfig(human_conversion_rate=1.0))
+        impression = make_impression(football_campaign, is_bot=True)
+        rng = random.Random(1)
+        assert all(simulator.simulate(impression, 1, rng) is None
+                   for _ in range(50))
+        assert simulator.clicks_seen == 50
+        assert simulator.conversions == 0
+
+    def test_partial_rate_is_partial(self, football_campaign):
+        simulator = ConversionSimulator(
+            ConversionConfig(human_conversion_rate=0.5))
+        impression = make_impression(football_campaign)
+        rng = random.Random(2)
+        hits = sum(simulator.simulate(impression, 1, rng) is not None
+                   for _ in range(400))
+        assert 140 < hits < 260

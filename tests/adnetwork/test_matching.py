@@ -1,0 +1,119 @@
+"""Tests for repro.adnetwork.matching — the network's targeting engine."""
+
+import random
+
+import pytest
+
+from repro.adnetwork.matching import MatchEngine, MatchReason
+from tests.adnetwork.conftest import make_publisher
+
+
+@pytest.fixture
+def engine(lexicon):
+    return MatchEngine(lexicon, broad_match_rate=0.0, behavioural_rate=1.0)
+
+
+class TestContextualMatch:
+    def test_keyword_list_match(self, engine, football_campaign):
+        publisher = make_publisher(topics=("news",), keywords=("football",))
+        assert engine.contextual_match(football_campaign, publisher)
+
+    def test_topic_radius_match(self, engine, football_campaign):
+        # la-liga is one edge from football in the default taxonomy.
+        publisher = make_publisher(topics=("la-liga",), keywords=("x",))
+        assert engine.contextual_match(football_campaign, publisher)
+
+    def test_cross_vertical_no_match(self, engine, football_campaign):
+        publisher = make_publisher(topics=("recipes",), keywords=("food",))
+        assert not engine.contextual_match(football_campaign, publisher)
+
+    def test_radius_zero_requires_exact_topic(self, lexicon, football_campaign):
+        engine = MatchEngine(lexicon, vertical_radius_edges=0)
+        exact = make_publisher(topics=("football",), keywords=("x",))
+        near = make_publisher(domain="b.es", topics=("la-liga",), keywords=("x",))
+        assert engine.contextual_match(football_campaign, exact)
+        assert not engine.contextual_match(football_campaign, near)
+
+    def test_verdicts_are_cached(self, engine, football_campaign):
+        publisher = make_publisher()
+        assert engine.contextual_match(football_campaign, publisher)
+        key = (football_campaign.campaign_id, publisher.domain)
+        assert key in engine._contextual_cache
+
+
+class TestBehaviouralMatch:
+    def test_exact_interest(self, engine, football_campaign):
+        assert engine.behavioural_match(football_campaign, ("football",))
+
+    def test_adjacent_interest(self, engine, football_campaign):
+        assert engine.behavioural_match(football_campaign, ("la-liga",))
+        assert engine.behavioural_match(football_campaign, ("sports",))
+
+    def test_distant_interest_no_match(self, engine, football_campaign):
+        assert not engine.behavioural_match(football_campaign, ("recipes",))
+
+    def test_empty_interests_no_match(self, engine, football_campaign):
+        assert not engine.behavioural_match(football_campaign, ())
+
+
+class TestDecide:
+    def test_contextual_takes_priority(self, engine, football_campaign):
+        publisher = make_publisher(topics=("football",))
+        decision = engine.decide(football_campaign, publisher, ("football",),
+                                 random.Random(0))
+        assert decision.reason is MatchReason.CONTEXTUAL
+        assert decision.claimed_contextual
+
+    def test_behavioural_when_publisher_off_topic(self, engine,
+                                                  football_campaign):
+        publisher = make_publisher(topics=("recipes",), keywords=("food",))
+        decision = engine.decide(football_campaign, publisher, ("football",),
+                                 random.Random(0))
+        assert decision.reason is MatchReason.BEHAVIOURAL
+        assert decision.claimed_contextual   # the undisclosed criterion
+
+    def test_behavioural_rate_gates_the_signal(self, lexicon,
+                                               football_campaign):
+        engine = MatchEngine(lexicon, broad_match_rate=0.0,
+                             behavioural_rate=0.0)
+        publisher = make_publisher(topics=("recipes",), keywords=("food",))
+        decision = engine.decide(football_campaign, publisher, ("football",),
+                                 random.Random(0))
+        assert not decision.eligible
+
+    def test_broad_never_claimed_contextual(self, lexicon, football_campaign):
+        engine = MatchEngine(lexicon, broad_match_rate=1.0,
+                             behavioural_rate=0.0)
+        publisher = make_publisher(topics=("recipes",), keywords=("food",))
+        decision = engine.decide(football_campaign, publisher, (),
+                                 random.Random(0))
+        assert decision.eligible
+        assert decision.reason is MatchReason.BROAD
+        assert not decision.claimed_contextual
+
+    def test_broad_rate_override(self, engine, football_campaign):
+        publisher = make_publisher(topics=("recipes",), keywords=("food",))
+        rng = random.Random(0)
+        decision = engine.decide(football_campaign, publisher, (), rng,
+                                 broad_rate=1.0)
+        assert decision.reason is MatchReason.BROAD
+
+    def test_no_match_at_zero_rates(self, engine, football_campaign):
+        publisher = make_publisher(topics=("recipes",), keywords=("food",))
+        decision = engine.decide(football_campaign, publisher, (),
+                                 random.Random(0), broad_rate=0.0)
+        assert not decision.eligible
+        assert decision.reason is MatchReason.NONE
+
+
+class TestConstruction:
+    def test_rejects_bad_rates(self, lexicon):
+        with pytest.raises(ValueError):
+            MatchEngine(lexicon, broad_match_rate=1.5)
+        with pytest.raises(ValueError):
+            MatchEngine(lexicon, behavioural_rate=-0.1)
+        with pytest.raises(ValueError):
+            MatchEngine(lexicon, vertical_radius_edges=-1)
+
+    def test_campaign_topics_resolution(self, engine, football_campaign):
+        assert engine.campaign_topics(football_campaign) == ("football",)

@@ -1,0 +1,77 @@
+"""Tests for repro.adnetwork.pacing."""
+
+import random
+
+import pytest
+
+from repro.adnetwork.campaign import CampaignSpec
+from repro.adnetwork.pacing import BudgetPacer
+
+START, END = CampaignSpec.flight(2016, 3, 29, 3, 31)
+
+
+def make_campaign(cid="c", budget=1.0):
+    return CampaignSpec(campaign_id=cid, keywords=("Research",), cpm_eur=0.1,
+                        target_countries=("ES",), start_unix=START,
+                        end_unix=END, daily_budget_eur=budget)
+
+
+class TestBudgetPacer:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            BudgetPacer([make_campaign("a"), make_campaign("a")])
+
+    def test_bad_throttle_floor_rejected(self):
+        with pytest.raises(ValueError):
+            BudgetPacer([make_campaign()], throttle_floor=0.0)
+
+    def test_spend_accumulates_per_day(self):
+        campaign = make_campaign()
+        pacer = BudgetPacer([campaign])
+        pacer.record_spend(campaign, START + 100, 0.3)
+        pacer.record_spend(campaign, START + 200, 0.2)
+        assert pacer.spent_today(campaign, START + 300) == pytest.approx(0.5)
+        # Next day starts fresh.
+        assert pacer.spent_today(campaign, START + 86_400 + 1) == 0.0
+        assert pacer.total_spend["c"] == pytest.approx(0.5)
+
+    def test_negative_spend_rejected(self):
+        campaign = make_campaign()
+        pacer = BudgetPacer([campaign])
+        with pytest.raises(ValueError):
+            pacer.record_spend(campaign, START, -0.1)
+
+    def test_exhausted_budget_blocks_bidding(self):
+        campaign = make_campaign(budget=1.0)
+        pacer = BudgetPacer([campaign])
+        pacer.record_spend(campaign, START + 100, 1.0)
+        rng = random.Random(0)
+        assert not any(pacer.may_bid(campaign, START + 200, rng)
+                       for _ in range(50))
+
+    def test_intraday_schedule_throttles_early_spend(self):
+        campaign = make_campaign(budget=1.0)
+        pacer = BudgetPacer([campaign])
+        # Spend 50% of budget in the first minute of the day:
+        pacer.record_spend(campaign, START + 60, 0.5)
+        rng = random.Random(1)
+        # At minute 2 the schedule only allows ~2% + 2% allowance.
+        assert not any(pacer.may_bid(campaign, START + 120, rng)
+                       for _ in range(50))
+        # By late evening the schedule has caught up.
+        late = START + 0.9 * 86_400
+        assert any(pacer.may_bid(campaign, late, rng) for _ in range(50))
+
+    def test_on_schedule_campaign_keeps_bidding(self):
+        campaign = make_campaign(budget=1.0)
+        pacer = BudgetPacer([campaign])
+        rng = random.Random(2)
+        mid_day = START + 43_200
+        pacer.record_spend(campaign, mid_day, 0.3)   # below the 0.52 allowance
+        assert any(pacer.may_bid(campaign, mid_day, rng) for _ in range(20))
+
+    def test_head_start_allowance_at_day_open(self):
+        campaign = make_campaign(budget=1.0)
+        pacer = BudgetPacer([campaign])
+        rng = random.Random(3)
+        assert any(pacer.may_bid(campaign, START + 1, rng) for _ in range(20))

@@ -1,0 +1,120 @@
+"""Tests for repro.adnetwork.reporting — the vendor report under audit."""
+
+import random
+
+import pytest
+
+from repro.adnetwork.matching import MatchDecision, MatchReason
+from repro.adnetwork.reporting import (
+    ANONYMOUS_PLACEMENT,
+    PlacementRow,
+    VendorReporter,
+)
+from repro.adnetwork.server import DeliveredImpression
+from repro.adnetwork.viewability import Exposure
+from tests.adnetwork.conftest import make_pageview, make_publisher
+
+
+def make_impression(campaign, impression_id=1, publisher=None,
+                    viewable=True, reason=MatchReason.CONTEXTUAL):
+    pageview = make_pageview(publisher or make_publisher())
+    exposure = Exposure(render_delay=0.5,
+                        exposure_seconds=5.0 if viewable else 0.2,
+                        pixels_in_view=viewable)
+    return DeliveredImpression(
+        impression_id=impression_id,
+        campaign=campaign,
+        pageview=pageview,
+        exposure=exposure,
+        match=MatchDecision(eligible=True, reason=reason),
+        clearing_cpm=0.05,
+    )
+
+
+class TestPlacementRow:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlacementRow(placement="", impressions=1)
+        with pytest.raises(ValueError):
+            PlacementRow(placement="a.es", impressions=0)
+
+    def test_anonymous_flag(self):
+        assert PlacementRow(ANONYMOUS_PLACEMENT, 5).is_anonymous
+        assert not PlacementRow("a.es", 5).is_anonymous
+
+
+class TestVendorReporter:
+    def test_totals_count_all_impressions(self, football_campaign):
+        impressions = [make_impression(football_campaign, i, viewable=i % 2 == 0)
+                       for i in range(1, 11)]
+        report = VendorReporter().report("Football-010", impressions)
+        assert report.total_impressions == 10
+
+    def test_placements_cover_only_viewable(self, football_campaign):
+        viewable_pub = make_publisher(domain="seen.es")
+        hidden_pub = make_publisher(domain="unseen.es")
+        impressions = [
+            make_impression(football_campaign, 1, viewable_pub, viewable=True),
+            make_impression(football_campaign, 2, hidden_pub, viewable=False),
+        ]
+        report = VendorReporter().report("Football-010", impressions)
+        assert report.reported_publishers == {"seen.es"}
+        assert report.placement_impressions == 1
+
+    def test_viewable_only_policy_can_be_disabled(self, football_campaign):
+        hidden_pub = make_publisher(domain="unseen.es")
+        impressions = [make_impression(football_campaign, 1, hidden_pub,
+                                       viewable=False)]
+        reporter = VendorReporter(viewable_only_placements=False)
+        report = reporter.report("Football-010", impressions)
+        assert report.reported_publishers == {"unseen.es"}
+
+    def test_anonymous_publishers_aggregate(self, football_campaign):
+        anonymous_a = make_publisher(domain="anon-a.es", is_anonymous=True)
+        anonymous_b = make_publisher(domain="anon-b.es", is_anonymous=True)
+        impressions = [
+            make_impression(football_campaign, 1, anonymous_a),
+            make_impression(football_campaign, 2, anonymous_b),
+            make_impression(football_campaign, 3),
+        ]
+        report = VendorReporter().report("Football-010", impressions)
+        assert report.anonymous_impressions == 2
+        assert "anon-a.es" not in report.reported_publishers
+        assert ANONYMOUS_PLACEMENT not in report.reported_publishers
+
+    def test_contextual_fraction_counts_claimed(self, football_campaign):
+        impressions = [
+            make_impression(football_campaign, 1, reason=MatchReason.CONTEXTUAL),
+            make_impression(football_campaign, 2, reason=MatchReason.BEHAVIOURAL),
+            make_impression(football_campaign, 3, reason=MatchReason.BROAD),
+            make_impression(football_campaign, 4, reason=MatchReason.BROAD),
+        ]
+        report = VendorReporter().report("Football-010", impressions)
+        assert report.contextual.numerator == 2
+        assert report.contextual.denominator == 4
+
+    def test_contextual_includes_nonviewable(self, football_campaign):
+        impressions = [
+            make_impression(football_campaign, 1, viewable=False,
+                            reason=MatchReason.CONTEXTUAL),
+        ]
+        report = VendorReporter().report("Football-010", impressions)
+        assert report.contextual.pct == 100.0
+
+    def test_wrong_campaign_impression_rejected(self, football_campaign):
+        impression = make_impression(football_campaign, 1)
+        with pytest.raises(ValueError):
+            VendorReporter().report("Other", [impression])
+
+    def test_empty_campaign_report(self):
+        report = VendorReporter().report("Empty", [])
+        assert report.total_impressions == 0
+        assert report.placements == ()
+        assert report.contextual.value == 0.0
+
+    def test_money_fields_carried(self, football_campaign):
+        report = VendorReporter().report(
+            "Football-010", [make_impression(football_campaign, 1)],
+            charged_eur=1.5, refunded_eur=0.25)
+        assert report.charged_eur == 1.5
+        assert report.refunded_eur == 0.25

@@ -1,0 +1,238 @@
+"""Tests for repro.adnetwork.server — the delivery engine."""
+
+import random
+
+import pytest
+
+from repro.adnetwork.campaign import CampaignSpec
+from repro.adnetwork.inventory import ExternalDemand, ExternalDemandConfig
+from repro.adnetwork.matching import MatchEngine, MatchReason
+from repro.adnetwork.server import AdServer, NetworkPolicy
+from repro.geo.ipdb import GeoIpDatabase
+from repro.geo.providers import ProviderRegistry
+from tests.adnetwork.conftest import END, START, make_pageview, make_publisher
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return ProviderRegistry(random.Random(61))
+
+
+@pytest.fixture(scope="module")
+def ipdb(registry):
+    return GeoIpDatabase(registry)
+
+
+def quiet_external():
+    return ExternalDemand(ExternalDemandConfig(
+        competition_by_country=(("ES", 0.0),), default_competition=0.0,
+        price_level_by_country=(("ES", 1.0),), default_price_level=1.0))
+
+
+def football_campaign(**overrides):
+    defaults = dict(campaign_id="Football-010", keywords=("Football",),
+                    cpm_eur=0.10, target_countries=("ES",),
+                    start_unix=START, end_unix=END, daily_budget_eur=100.0)
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+def make_server(lexicon, ipdb, campaigns=None, policy=None):
+    campaigns = campaigns if campaigns is not None else [football_campaign()]
+    return AdServer(campaigns, MatchEngine(lexicon), quiet_external(), ipdb,
+                    policy=policy)
+
+
+def es_pageview(registry, **overrides):
+    ip = registry.access_providers("ES")[0].blocks[0].nth(77)
+    defaults = dict(ip=ip, country="ES")
+    defaults.update(overrides)
+    return make_pageview(**defaults)
+
+
+class TestServe:
+    def test_matched_pageview_yields_impression(self, lexicon, ipdb, registry):
+        server = make_server(lexicon, ipdb)
+        impression = server.serve(es_pageview(registry), random.Random(0))
+        assert impression is not None
+        assert impression.campaign.campaign_id == "Football-010"
+        assert impression.match.reason is MatchReason.CONTEXTUAL
+        assert impression.publisher_domain == "futbol9.es"
+
+    def test_inactive_campaign_never_serves(self, lexicon, ipdb, registry):
+        server = make_server(lexicon, ipdb)
+        pageview = es_pageview(registry, timestamp=START - 1000)
+        assert server.serve(pageview, random.Random(0)) is None
+
+    def test_geo_mismatch_never_serves(self, lexicon, ipdb, registry):
+        server = make_server(lexicon, ipdb)
+        ru_ip = registry.access_providers("RU")[0].blocks[0].nth(5)
+        pageview = es_pageview(registry, ip=ru_ip, country="RU")
+        assert server.serve(pageview, random.Random(0)) is None
+
+    def test_geo_resolution_prefers_ip_database(self, lexicon, ipdb, registry):
+        server = make_server(lexicon, ipdb)
+        # The visitor claims ES but the IP belongs to a Russian ISP: the
+        # network's own geo lookup wins, so no Spain-targeted ad serves.
+        ru_ip = registry.access_providers("RU")[0].blocks[0].nth(9)
+        pageview = es_pageview(registry, ip=ru_ip, country="ES")
+        assert server.serve(pageview, random.Random(0)) is None
+
+    def test_unknown_ip_falls_back_to_claimed_country(self, lexicon, ipdb,
+                                                      registry):
+        server = make_server(lexicon, ipdb)
+        pageview = es_pageview(registry, ip="1.2.3.4", country="ES")
+        assert server.serve(pageview, random.Random(0)) is not None
+
+    def test_impressions_charge_billing(self, lexicon, ipdb, registry):
+        server = make_server(lexicon, ipdb)
+        server.serve(es_pageview(registry), random.Random(0))
+        assert server.billing.charged_total("Football-010") > 0
+
+    def test_budget_exhaustion_stops_delivery(self, lexicon, ipdb, registry):
+        campaign = football_campaign(daily_budget_eur=0.0002)
+        server = make_server(lexicon, ipdb, campaigns=[campaign])
+        rng = random.Random(1)
+        late = START + 0.99 * 86_400
+        for index in range(300):
+            server.serve(es_pageview(registry, timestamp=late + index),
+                         rng)
+        # floor is 0.01 CPM -> 1e-5 per impression -> at most ~20-ish wins.
+        assert len(server.impressions) <= 30
+
+    def test_run_consumes_stream(self, lexicon, ipdb, registry):
+        server = make_server(lexicon, ipdb)
+        views = [es_pageview(registry, timestamp=START + i * 50)
+                 for i in range(20)]
+        delivered = server.run(iter(views), random.Random(2))
+        assert delivered == server.impressions
+
+
+class TestIvtPrefilter:
+    def test_full_prefilter_blocks_all_bots(self, lexicon, ipdb, registry):
+        policy = NetworkPolicy(ivt_prefilter_rate=1.0)
+        server = make_server(lexicon, ipdb, policy=policy)
+        pageview = es_pageview(registry, is_bot=True)
+        assert server.serve(pageview, random.Random(0)) is None
+        assert server.prefiltered_pageviews == 1
+
+    def test_zero_prefilter_serves_bots(self, lexicon, ipdb, registry):
+        policy = NetworkPolicy(ivt_prefilter_rate=0.0)
+        server = make_server(lexicon, ipdb, policy=policy)
+        pageview = es_pageview(registry, is_bot=True)
+        assert server.serve(pageview, random.Random(0)) is not None
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            NetworkPolicy(ivt_prefilter_rate=1.5)
+        with pytest.raises(ValueError):
+            NetworkPolicy(default_frequency_cap=0)
+        with pytest.raises(ValueError):
+            NetworkPolicy(broad_base_rate=0.9, broad_max_rate=0.1)
+        with pytest.raises(ValueError):
+            NetworkPolicy(matched_supply_ref=0.0)
+
+
+class TestFrequencyCap:
+    def test_no_default_cap_allows_unbounded_repetition(self, lexicon, ipdb,
+                                                        registry):
+        server = make_server(lexicon, ipdb)
+        rng = random.Random(3)
+        for index in range(120):
+            server.serve(es_pageview(registry, timestamp=START + index * 30),
+                         rng)
+        # Same IP+UA got far more than any sensible cap — the paper's point.
+        assert len(server.impressions) > 100
+
+    def test_advertiser_cap_enforced_per_user(self, lexicon, ipdb, registry):
+        campaign = football_campaign(frequency_cap=3)
+        server = make_server(lexicon, ipdb, campaigns=[campaign])
+        rng = random.Random(4)
+        for index in range(50):
+            server.serve(es_pageview(registry, timestamp=START + index * 30),
+                         rng)
+        assert len(server.impressions) == 3
+
+    def test_cap_distinguishes_user_agents(self, lexicon, ipdb, registry):
+        campaign = football_campaign(frequency_cap=2)
+        server = make_server(lexicon, ipdb, campaigns=[campaign])
+        rng = random.Random(5)
+        for index in range(30):
+            ua = "UA-A" if index % 2 else "UA-B"
+            server.serve(es_pageview(registry, timestamp=START + index * 30,
+                                     user_agent=ua), rng)
+        assert len(server.impressions) == 4   # 2 per (IP, UA) identity
+
+    def test_network_default_cap_policy(self, lexicon, ipdb, registry):
+        policy = NetworkPolicy(default_frequency_cap=5)
+        server = make_server(lexicon, ipdb, policy=policy)
+        rng = random.Random(6)
+        for index in range(60):
+            server.serve(es_pageview(registry, timestamp=START + index * 30),
+                         rng)
+        assert len(server.impressions) == 5
+
+
+class TestBroadExpansion:
+    def test_scarce_supply_raises_broad_rate(self, lexicon, ipdb, registry):
+        campaign = football_campaign(campaign_id="Research",
+                                     keywords=("Research",))
+        server = make_server(lexicon, ipdb, campaigns=[campaign])
+        rng = random.Random(7)
+        off_topic = make_publisher(domain="recetas1.es", topics=("recipes",),
+                                   keywords=("food",))
+        # Feed many unmatched pageviews: supply estimate drops, spend stays
+        # zero, so the expansion should climb well above the base rate.
+        for index in range(400):
+            server.serve(es_pageview(registry, publisher=off_topic,
+                                     timestamp=START + 40_000 + index), rng)
+        rate = server.broad_rate(campaign, START + 45_000)
+        assert rate > 0.5
+
+    def test_plentiful_supply_keeps_broad_at_base(self, lexicon, ipdb,
+                                                  registry):
+        server = make_server(lexicon, ipdb)
+        rng = random.Random(8)
+        for index in range(400):
+            server.serve(es_pageview(registry, timestamp=START + 40_000 + index),
+                         rng)
+        campaign = server.campaigns[0]
+        rate = server.broad_rate(campaign, START + 45_000)
+        assert rate <= server.policy.broad_base_rate + 0.05
+
+    def test_supply_estimate_reflects_traffic(self, lexicon, ipdb, registry):
+        server = make_server(lexicon, ipdb)
+        rng = random.Random(9)
+        off_topic = make_publisher(domain="recetas2.es", topics=("recipes",),
+                                   keywords=("food",))
+        for index in range(300):
+            publisher = off_topic if index % 3 else None
+            server.serve(es_pageview(registry, publisher=publisher,
+                                     timestamp=START + index), rng)
+        estimate = server.matched_supply("Football-010")
+        assert 0.2 < estimate < 0.5   # one in three pageviews matched
+
+
+class TestPlacementExclusions:
+    def test_excluded_domain_never_served(self, lexicon, ipdb, registry):
+        campaign = football_campaign(
+            excluded_domains=frozenset({"futbol9.es"}))
+        server = make_server(lexicon, ipdb, campaigns=[campaign])
+        rng = random.Random(10)
+        for index in range(50):
+            server.serve(es_pageview(registry, timestamp=START + index * 30),
+                         rng)
+        assert server.impressions == []
+
+    def test_other_domains_unaffected(self, lexicon, ipdb, registry):
+        campaign = football_campaign(
+            excluded_domains=frozenset({"someother.es"}))
+        server = make_server(lexicon, ipdb, campaigns=[campaign])
+        assert server.serve(es_pageview(registry), random.Random(0)) is not None
+
+    def test_anonymous_exclusion(self, lexicon, ipdb, registry):
+        campaign = football_campaign(exclude_anonymous=True)
+        server = make_server(lexicon, ipdb, campaigns=[campaign])
+        anonymous_pub = make_publisher(domain="anon.es", is_anonymous=True)
+        pageview = es_pageview(registry, publisher=anonymous_pub)
+        assert server.serve(pageview, random.Random(0)) is None

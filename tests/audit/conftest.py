@@ -1,0 +1,139 @@
+"""Shared fixtures for audit tests: a small hand-built dataset.
+
+Two campaigns with precisely known contents so every audit number can be
+asserted exactly:
+
+* ``Football-010`` — 6 impressions: 4 on football publishers (one of them
+  a data-center IP / bot), 2 on an off-topic publisher.
+* ``Research-010`` — 3 impressions on one science publisher and one unsafe
+  publisher the vendor never reported.
+"""
+
+import pytest
+
+from repro.adnetwork.campaign import CampaignSpec
+from repro.adnetwork.reporting import (
+    ANONYMOUS_PLACEMENT,
+    PlacementRow,
+    VendorReport,
+)
+from repro.audit.dataset import AuditDataset
+from repro.collector.store import ImpressionRecord, ImpressionStore
+from repro.taxonomy.lexicon import build_default_lexicon
+from repro.util.stats import Fraction2
+from repro.web.publisher import Publisher
+from repro.web.ranking import RankingService
+
+START, END = CampaignSpec.flight(2016, 4, 2, 4, 3)
+
+#: Anonymised tokens standing in for user identities.
+TOKEN_FAN = "fan0fan0fan0fan0"
+TOKEN_BOT = "b07bb07bb07bb07b"
+TOKEN_CASUAL = "cascascascascas0"
+
+
+def publisher(domain, rank, topics, keywords, unsafe=False, anonymous=False):
+    return Publisher(domain=domain, global_rank=rank, country_focus="ES",
+                     topics=tuple(topics), keywords=tuple(keywords),
+                     unsafe=unsafe, is_anonymous=anonymous)
+
+
+@pytest.fixture(scope="module")
+def directory():
+    publishers = [
+        publisher("futbolhead.es", 50, ("football",), ("football",)),
+        publisher("laliga-tail.es", 600_000, ("la-liga",), ("la liga",)),
+        publisher("recetas.es", 9_000, ("recipes",), ("recipes", "food")),
+        publisher("ciencia.es", 40_000, ("research",), ("research",)),
+        publisher("casino-x.es", 2_000_000, ("online-casino",), ("casino",),
+                  unsafe=True),
+        publisher("ghost.es", 300, ("news",), ("news",)),  # vendor-only
+    ]
+    return {pub.domain: pub for pub in publishers}
+
+
+def record(store, campaign, domain, token, ua="UA-1", timestamp=START,
+           exposure=5.0, rank=None, dc=False):
+    store.insert(ImpressionRecord(
+        record_id=store.next_record_id(),
+        campaign_id=campaign,
+        creative_id=f"{campaign}-creative",
+        url=f"http://{domain}/s/a-1.html",
+        user_agent=ua,
+        ip="",
+        ip_token=token,
+        timestamp=timestamp,
+        exposure_seconds=exposure,
+        provider="P",
+        country="ES",
+        global_rank=rank,
+        is_datacenter=dc,
+        dc_stage="denylist" if dc else "cleared",
+    ))
+
+
+@pytest.fixture(scope="module")
+def dataset(directory):
+    store = ImpressionStore()
+    # Football-010: the heavy fan sees the ad 3 times on futbolhead.es,
+    # 60 s apart; a bot sees it once; a casual user twice off-topic.
+    for offset in (0.0, 60.0, 120.0):
+        record(store, "Football-010", "futbolhead.es", TOKEN_FAN,
+               timestamp=START + offset, exposure=5.0, rank=50)
+    record(store, "Football-010", "laliga-tail.es", TOKEN_BOT,
+           timestamp=START + 500.0, exposure=0.4, rank=600_000, dc=True)
+    record(store, "Football-010", "recetas.es", TOKEN_CASUAL,
+           timestamp=START + 1000.0, exposure=2.0, rank=9_000)
+    record(store, "Football-010", "recetas.es", TOKEN_CASUAL,
+           timestamp=START + 1300.0, exposure=0.5, rank=9_000)
+    # Research-010: two impressions on ciencia.es, one on the unsafe casino.
+    record(store, "Research-010", "ciencia.es", TOKEN_CASUAL,
+           timestamp=START + 2000.0, exposure=3.0, rank=40_000)
+    record(store, "Research-010", "ciencia.es", TOKEN_CASUAL,
+           timestamp=START + 2100.0, exposure=0.2, rank=40_000)
+    record(store, "Research-010", "casino-x.es", TOKEN_FAN,
+           timestamp=START + 2200.0, exposure=4.0, rank=2_000_000)
+
+    campaigns = {
+        "Football-010": CampaignSpec(
+            campaign_id="Football-010", keywords=("Football",),
+            cpm_eur=0.10, target_countries=("ES",),
+            start_unix=START, end_unix=END),
+        "Research-010": CampaignSpec(
+            campaign_id="Research-010", keywords=("Research",),
+            cpm_eur=0.10, target_countries=("ES",),
+            start_unix=START, end_unix=END),
+    }
+    vendor_reports = {
+        # The vendor names futbolhead + the never-logged ghost.es, hides
+        # the rest behind viewability/anonymity, and claims 6/7 contextual.
+        "Football-010": VendorReport(
+            campaign_id="Football-010",
+            total_impressions=7,
+            placements=(
+                PlacementRow("futbolhead.es", 3),
+                PlacementRow("ghost.es", 1),
+                PlacementRow(ANONYMOUS_PLACEMENT, 2),
+            ),
+            contextual=Fraction2(6, 7),
+            charged_eur=0.0007,
+            refunded_eur=0.0001,
+        ),
+        "Research-010": VendorReport(
+            campaign_id="Research-010",
+            total_impressions=4,
+            placements=(PlacementRow("ciencia.es", 2),),
+            contextual=Fraction2(1, 4),
+            charged_eur=0.0004,
+            refunded_eur=0.0,
+        ),
+    }
+    ranking = RankingService(directory.values())
+    return AuditDataset(
+        store=store,
+        campaigns=campaigns,
+        vendor_reports=vendor_reports,
+        directory=directory,
+        lexicon=build_default_lexicon(),
+        ranking=ranking,
+    )

@@ -1,0 +1,63 @@
+"""Tests for repro.audit.conversion — the future-work funnel audit."""
+
+import math
+
+import pytest
+
+from repro.adnetwork.conversions import ConversionEvent
+from repro.audit.conversion import ConversionAudit
+from tests.audit.conftest import START, TOKEN_CASUAL, TOKEN_FAN
+
+
+def conversion(campaign_id, token, ua="UA-1", value=50.0):
+    return ConversionEvent(campaign_id=campaign_id, timestamp=START + 5000,
+                           ip="", ip_token=token, user_agent=ua,
+                           value_eur=value)
+
+
+@pytest.fixture
+def conversions():
+    # The fan converted once after clicking on Football-010.
+    return [conversion("Football-010", TOKEN_FAN, value=120.0)]
+
+
+class TestConversionAudit:
+    def test_funnel_counts(self, dataset, conversions):
+        audit = ConversionAudit(dataset, conversions)
+        result = audit.assess("Football-010")
+        assert result.impressions == 6
+        assert result.conversions == 1
+        assert result.revenue_eur == pytest.approx(120.0)
+
+    def test_conversion_ratio(self, dataset, conversions):
+        result = ConversionAudit(dataset, conversions).assess("Football-010")
+        assert result.conversion_ratio.numerator == 1
+        assert result.conversion_ratio.denominator == 6
+
+    def test_campaign_without_conversions(self, dataset, conversions):
+        result = ConversionAudit(dataset, conversions).assess("Research-010")
+        assert result.conversions == 0
+        assert math.isinf(result.cost_per_conversion_eur)
+
+    def test_cost_per_conversion_uses_net_spend(self, dataset, conversions):
+        result = ConversionAudit(dataset, conversions).assess("Football-010")
+        # charged 0.0007 - refunded 0.0001 over one conversion.
+        assert result.cost_per_conversion_eur == pytest.approx(0.0006)
+
+    def test_table_covers_campaigns(self, dataset, conversions):
+        table = ConversionAudit(dataset, conversions).table()
+        assert [row.campaign_id for row in table] == ["Football-010",
+                                                      "Research-010"]
+
+    def test_fraud_signal_zero_without_clicks(self, dataset, conversions):
+        audit = ConversionAudit(dataset, conversions)
+        # The fixture store records no clicks at all, so the DC share of
+        # clicks is 0 and the signal is non-positive.
+        assert audit.fraud_signal("Football-010") <= 0.0
+
+    def test_dc_conversions_join_on_user_key(self, dataset):
+        # A conversion from the casual (non-DC) user: joins but is not DC.
+        events = [conversion("Football-010", TOKEN_CASUAL)]
+        result = ConversionAudit(dataset, events).assess("Football-010")
+        assert result.conversions == 1
+        assert result.dc_conversions == 0

@@ -1,0 +1,53 @@
+"""Tests for repro.audit.dataset."""
+
+import pytest
+
+from repro.audit.dataset import AuditDataset
+
+
+class TestAuditDataset:
+    def test_campaign_ids_in_order(self, dataset):
+        assert dataset.campaign_ids == ["Football-010", "Research-010"]
+
+    def test_records_per_campaign(self, dataset):
+        assert len(dataset.records("Football-010")) == 6
+        assert len(dataset.records("Research-010")) == 3
+
+    def test_records_unknown_campaign_raises(self, dataset):
+        with pytest.raises(KeyError):
+            dataset.records("nope")
+
+    def test_audit_publishers(self, dataset):
+        assert dataset.audit_publishers("Football-010") == {
+            "futbolhead.es", "laliga-tail.es", "recetas.es"}
+        assert dataset.audit_publishers() == {
+            "futbolhead.es", "laliga-tail.es", "recetas.es",
+            "ciencia.es", "casino-x.es"}
+
+    def test_vendor_publishers_exclude_anonymous(self, dataset):
+        assert dataset.vendor_publishers("Football-010") == {
+            "futbolhead.es", "ghost.es"}
+
+    def test_vendor_publishers_all_campaigns(self, dataset):
+        assert dataset.vendor_publishers() == {
+            "futbolhead.es", "ghost.es", "ciencia.es"}
+
+    def test_publisher_info(self, dataset):
+        assert dataset.publisher_info("FUTBOLHEAD.es").domain == "futbolhead.es"
+        assert dataset.publisher_info("missing.example") is None
+
+    def test_require_report(self, dataset):
+        assert dataset.require_report("Football-010").total_impressions == 7
+        with pytest.raises(KeyError):
+            dataset.require_report("missing")
+
+    def test_report_for_unknown_campaign_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            AuditDataset(
+                store=dataset.store,
+                campaigns={},
+                vendor_reports=dataset.vendor_reports,
+                directory=dataset.directory,
+                lexicon=dataset.lexicon,
+                ranking=dataset.ranking,
+            )

@@ -1,0 +1,61 @@
+"""Tests for repro.audit.frequency — the Figure 3 analysis."""
+
+import pytest
+
+from repro.audit.frequency import FrequencyAudit
+from tests.audit.conftest import TOKEN_BOT, TOKEN_CASUAL, TOKEN_FAN
+
+
+class TestUserFrequencies:
+    def test_fan_repetition_measured(self, dataset):
+        audit = FrequencyAudit(dataset)
+        points = audit.user_frequencies("Football-010")
+        fan = next(p for p in points if p.user_key.startswith(TOKEN_FAN))
+        assert fan.impressions == 3
+        assert fan.median_interarrival_seconds == pytest.approx(60.0)
+        assert fan.min_interarrival_seconds == pytest.approx(60.0)
+
+    def test_single_impression_user_has_no_interarrival(self, dataset):
+        audit = FrequencyAudit(dataset)
+        points = audit.user_frequencies("Football-010")
+        bot = next(p for p in points if p.user_key.startswith(TOKEN_BOT))
+        assert bot.impressions == 1
+        assert bot.median_interarrival_seconds is None
+
+    def test_users_separated_per_campaign(self, dataset):
+        audit = FrequencyAudit(dataset)
+        points = audit.user_frequencies(None)
+        casual = [p for p in points if p.user_key.startswith(TOKEN_CASUAL)]
+        # The casual user appears once per campaign.
+        assert sorted(p.campaign_id for p in casual) == ["Football-010",
+                                                         "Research-010"]
+
+    def test_scatter_omits_single_impression_users(self, dataset):
+        audit = FrequencyAudit(dataset)
+        series = audit.scatter_series("Football-010")
+        assert all(count >= 2 for count, _ in series)
+
+    def test_summary_counts(self, dataset):
+        summary = FrequencyAudit(dataset).summary(None)
+        assert summary.total_users == 5
+        assert summary.users_over_10 == 0
+        assert summary.max_impressions_single_user == 3
+        assert summary.users_min_under_20s == 0
+
+
+class TestWouldSuppress:
+    def test_cap_of_one_suppresses_all_repeats(self, dataset):
+        audit = FrequencyAudit(dataset)
+        # 9 impressions total over 5 (user, campaign) pairs -> 4 suppressed.
+        assert audit.would_suppress(1, None) == 4
+
+    def test_cap_of_two(self, dataset):
+        audit = FrequencyAudit(dataset)
+        assert audit.would_suppress(2, "Football-010") == 1
+
+    def test_large_cap_suppresses_nothing(self, dataset):
+        assert FrequencyAudit(dataset).would_suppress(100, None) == 0
+
+    def test_cap_validation(self, dataset):
+        with pytest.raises(ValueError):
+            FrequencyAudit(dataset).would_suppress(0)

@@ -1,0 +1,63 @@
+"""Tests for repro.audit.popularity — the Figure 2 analysis."""
+
+import pytest
+
+from repro.audit.popularity import PopularityAudit
+
+
+class TestDistribution:
+    def test_fractions_sum_to_one(self, dataset):
+        audit = PopularityAudit(dataset)
+        distribution = audit.distribution("Football-010")
+        assert sum(distribution.publisher_fractions) == pytest.approx(1.0)
+        assert sum(distribution.impression_fractions) == pytest.approx(1.0)
+
+    def test_bucket_placement(self, dataset):
+        audit = PopularityAudit(dataset)
+        distribution = audit.distribution("Football-010")
+        edges = list(distribution.bucket_edges)
+        # futbolhead.es has rank 50 -> bucket 0; 3 of 6 impressions there.
+        assert distribution.impression_fractions[0] == pytest.approx(0.5)
+        # recetas.es rank 9000 -> bucket (1K, 10K]; 2 of 6 impressions.
+        assert distribution.impression_fractions[edges.index(10_000)] == \
+            pytest.approx(2 / 6)
+        # laliga-tail rank 600K -> (100K, 1M]; 1 of 6.
+        assert distribution.impression_fractions[edges.index(1_000_000)] == \
+            pytest.approx(1 / 6)
+
+    def test_publisher_fractions_count_domains_once(self, dataset):
+        audit = PopularityAudit(dataset)
+        distribution = audit.distribution("Football-010")
+        # 3 distinct publishers, one per bucket touched.
+        assert distribution.publisher_fractions[0] == pytest.approx(1 / 3)
+
+    def test_unranked_domains_counted_separately(self, dataset):
+        audit = PopularityAudit(dataset)
+        distribution = audit.distribution("Research-010")
+        assert distribution.unranked_publishers == 0
+        assert distribution.unranked_impressions == 0
+
+    def test_cumulative_to(self, dataset):
+        audit = PopularityAudit(dataset)
+        distribution = audit.distribution("Football-010")
+        assert distribution.cumulative_to(10_000) == pytest.approx(5 / 6)
+        assert distribution.cumulative_to(10_000, "publishers") == \
+            pytest.approx(2 / 3)
+
+    def test_cumulative_requires_edge_value(self, dataset):
+        distribution = PopularityAudit(dataset).distribution("Football-010")
+        with pytest.raises(ValueError):
+            distribution.cumulative_to(50_000)
+
+    def test_top_concentration(self, dataset):
+        audit = PopularityAudit(dataset)
+        publishers, impressions = audit.top_concentration("Football-010",
+                                                          100_000)
+        assert publishers == pytest.approx(2 / 3)
+        assert impressions == pytest.approx(5 / 6)
+
+    def test_cpm_popularity_table_sorted_by_cpm(self, dataset):
+        audit = PopularityAudit(dataset)
+        rows = audit.cpm_popularity_table(["Football-010", "Research-010"])
+        assert [row[0] for row in rows] == ["Football-010", "Research-010"]
+        assert all(len(row) == 4 for row in rows)

@@ -1,0 +1,79 @@
+"""Tests for repro.audit.viewability — the Table 3 analysis."""
+
+import pytest
+
+from repro.audit.viewability import ViewabilityAudit
+
+
+class TestViewabilityAudit:
+    def test_football_upper_bound(self, dataset):
+        result = ViewabilityAudit(dataset).assess("Football-010")
+        # exposures: 5, 5, 5, 0.4, 2, 0.5 -> 4 of 6 at >= 1 s.
+        assert result.viewable_upper_bound.numerator == 4
+        assert result.viewable_upper_bound.denominator == 6
+
+    def test_research_upper_bound(self, dataset):
+        result = ViewabilityAudit(dataset).assess("Research-010")
+        # exposures: 3, 0.2, 4 -> 2 of 3.
+        assert result.viewable_upper_bound.numerator == 2
+
+    def test_median_and_p90(self, dataset):
+        result = ViewabilityAudit(dataset).assess("Research-010")
+        assert result.median_exposure_seconds == pytest.approx(3.0)
+        assert result.p90_exposure_seconds <= 4.0
+
+    def test_custom_threshold(self, dataset):
+        audit = ViewabilityAudit(dataset, min_exposure_seconds=4.5)
+        result = audit.assess("Football-010")
+        assert result.viewable_upper_bound.numerator == 3
+
+    def test_threshold_validation(self, dataset):
+        with pytest.raises(ValueError):
+            ViewabilityAudit(dataset, min_exposure_seconds=0.0)
+
+    def test_table_covers_all_campaigns(self, dataset):
+        table = ViewabilityAudit(dataset).table()
+        assert [row.campaign_id for row in table] == ["Football-010",
+                                                      "Research-010"]
+
+    def test_truncated_records_counted(self, dataset):
+        result = ViewabilityAudit(dataset).assess("Football-010")
+        assert result.truncated_records == 0
+
+
+class TestMrcEstimate:
+    def test_no_safeframe_records_in_fixture(self, dataset):
+        from repro.audit.viewability import ViewabilityAudit
+
+        estimate = ViewabilityAudit(dataset).mrc_estimate("Football-010")
+        assert estimate.measurable_impressions == 0
+        assert estimate.coverage.value == 0.0
+        assert estimate.extrapolated_mrc == 0.0
+
+    def test_safeframe_subset_measured(self, dataset):
+        from dataclasses import replace
+
+        from repro.audit.dataset import AuditDataset
+        from repro.audit.viewability import ViewabilityAudit
+        from repro.collector.store import ImpressionStore
+
+        # Rebuild the store marking half the football records measurable.
+        store = ImpressionStore()
+        for index, record in enumerate(dataset.store):
+            pixels = None
+            if record.campaign_id == "Football-010":
+                pixels = index % 2 == 0
+            store.insert(replace(record, record_id=store.next_record_id(),
+                                 pixels_in_view=pixels))
+        rebuilt = AuditDataset(
+            store=store, campaigns=dataset.campaigns,
+            vendor_reports=dataset.vendor_reports,
+            directory=dataset.directory, lexicon=dataset.lexicon,
+            ranking=dataset.ranking)
+        estimate = ViewabilityAudit(rebuilt).mrc_estimate("Football-010")
+        assert estimate.measurable_impressions == 6
+        assert estimate.coverage.value == 1.0
+        # MRC on the measured set <= the upper bound, always.
+        assert estimate.mrc_viewable_on_safeframe.pct <= \
+            estimate.upper_bound.pct + 1e-9
+        assert estimate.upper_bound_inflation >= 0.0

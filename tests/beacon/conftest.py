@@ -1,0 +1,15 @@
+"""Shared fixtures for beacon tests."""
+
+import pytest
+
+from repro.adnetwork.campaign import CampaignSpec
+
+START, END = CampaignSpec.flight(2016, 4, 2, 4, 3)
+
+
+@pytest.fixture
+def football_campaign():
+    return CampaignSpec(campaign_id="Football-010", keywords=("Football",),
+                        cpm_eur=0.10, target_countries=("ES",),
+                        start_unix=START, end_unix=END,
+                        daily_budget_eur=5.0)

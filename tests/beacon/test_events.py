@@ -1,0 +1,59 @@
+"""Tests for repro.beacon.events."""
+
+import pytest
+
+from repro.beacon.events import (
+    BeaconObservation,
+    InteractionEvent,
+    InteractionKind,
+)
+
+
+def make_observation(**overrides):
+    defaults = dict(
+        campaign_id="Football-010",
+        creative_id="Football-010-creative",
+        page_url="http://futbol1.es/football/article-1.html",
+        user_agent="Mozilla/5.0",
+        interactions=(),
+        exposure_seconds=5.0,
+    )
+    defaults.update(overrides)
+    return BeaconObservation(**defaults)
+
+
+class TestInteractionEvent:
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionEvent(InteractionKind.CLICK, -1.0)
+
+
+class TestBeaconObservation:
+    def test_valid(self):
+        observation = make_observation()
+        assert observation.exposure_seconds == 5.0
+
+    @pytest.mark.parametrize("overrides", [
+        {"campaign_id": ""},
+        {"creative_id": ""},
+        {"page_url": ""},
+        {"exposure_seconds": -0.1},
+    ])
+    def test_rejects_invalid(self, overrides):
+        with pytest.raises(ValueError):
+            make_observation(**overrides)
+
+    def test_interaction_after_unload_rejected(self):
+        late = InteractionEvent(InteractionKind.CLICK, 10.0)
+        with pytest.raises(ValueError):
+            make_observation(interactions=(late,), exposure_seconds=5.0)
+
+    def test_counters(self):
+        events = (
+            InteractionEvent(InteractionKind.MOUSE_MOVE, 1.0),
+            InteractionEvent(InteractionKind.MOUSE_MOVE, 2.0),
+            InteractionEvent(InteractionKind.CLICK, 3.0),
+        )
+        observation = make_observation(interactions=events)
+        assert observation.mouse_moves == 2
+        assert observation.clicks == 1

@@ -1,0 +1,104 @@
+"""Tests for repro.beacon.script — the simulated injected JavaScript."""
+
+import random
+
+import pytest
+
+from repro.adnetwork.matching import MatchDecision, MatchReason
+from repro.adnetwork.server import DeliveredImpression
+from repro.adnetwork.viewability import Exposure
+from repro.beacon.script import BeaconScript, BeaconScriptConfig
+from tests.adnetwork.conftest import make_pageview, make_publisher
+
+
+def make_impression(campaign, publisher=None, exposure_seconds=8.0,
+                    is_bot=False):
+    pageview = make_pageview(publisher or make_publisher(), is_bot=is_bot)
+    return DeliveredImpression(
+        impression_id=1,
+        campaign=campaign,
+        pageview=pageview,
+        exposure=Exposure(0.5, exposure_seconds, True),
+        match=MatchDecision(True, MatchReason.CONTEXTUAL),
+        clearing_cpm=0.05,
+    )
+
+
+class TestBeaconScriptConfig:
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            BeaconScriptConfig(browser_block_rate=1.5)
+        with pytest.raises(ValueError):
+            BeaconScriptConfig(mouse_move_rate_per_second=-1)
+
+
+class TestObserve:
+    def test_observation_mirrors_impression(self, football_campaign):
+        script = BeaconScript(BeaconScriptConfig(browser_block_rate=0.0))
+        impression = make_impression(football_campaign)
+        observation = script.observe(impression, random.Random(0))
+        assert observation is not None
+        assert observation.campaign_id == "Football-010"
+        assert observation.page_url == impression.pageview.url
+        assert observation.user_agent == impression.pageview.user_agent
+        assert observation.exposure_seconds == 8.0
+
+    def test_publisher_sandbox_blocks_script(self, football_campaign):
+        script = BeaconScript(BeaconScriptConfig(browser_block_rate=0.0))
+        publisher = make_publisher(blocks_scripts=True)
+        impression = make_impression(football_campaign, publisher)
+        assert script.observe(impression, random.Random(0)) is None
+        assert script.blocked_by_publisher == 1
+
+    def test_browser_block_rate(self, football_campaign):
+        script = BeaconScript(BeaconScriptConfig(browser_block_rate=1.0))
+        impression = make_impression(football_campaign)
+        assert script.observe(impression, random.Random(0)) is None
+        assert script.blocked_by_browser == 1
+
+    def test_zero_exposure_has_no_interactions(self, football_campaign):
+        script = BeaconScript(BeaconScriptConfig(browser_block_rate=0.0))
+        impression = make_impression(football_campaign, exposure_seconds=0.0)
+        observation = script.observe(impression, random.Random(0))
+        assert observation is not None
+        assert observation.interactions == ()
+
+    def test_interactions_sorted_and_within_exposure(self, football_campaign):
+        config = BeaconScriptConfig(browser_block_rate=0.0,
+                                    mouse_move_rate_per_second=2.0)
+        script = BeaconScript(config)
+        impression = make_impression(football_campaign, exposure_seconds=10.0)
+        observation = script.observe(impression, random.Random(1))
+        offsets = [event.offset_seconds for event in observation.interactions]
+        assert offsets == sorted(offsets)
+        assert all(0 <= offset <= 10.0 for offset in offsets)
+        assert observation.mouse_moves >= 10   # ~2/s over 10 s
+
+    def test_bots_click_more_than_humans(self, football_campaign):
+        config = BeaconScriptConfig(browser_block_rate=0.0,
+                                    human_click_rate=0.01,
+                                    bot_click_rate=0.5)
+        script = BeaconScript(config)
+        rng = random.Random(2)
+        bot_clicks = sum(
+            script.observe(make_impression(football_campaign, is_bot=True),
+                           rng).clicks for _ in range(300))
+        human_clicks = sum(
+            script.observe(make_impression(football_campaign, is_bot=False),
+                           rng).clicks for _ in range(300))
+        assert bot_clicks > human_clicks * 5
+
+
+class TestSafeFrameObservation:
+    def test_safeframe_publisher_reports_pixels(self, football_campaign):
+        script = BeaconScript(BeaconScriptConfig(browser_block_rate=0.0))
+        publisher = make_publisher(safeframe=True)
+        impression = make_impression(football_campaign, publisher)
+        observation = script.observe(impression, random.Random(0))
+        assert observation.pixels_in_view is True  # exposure fixture says so
+
+    def test_cross_origin_publisher_reports_none(self, football_campaign):
+        script = BeaconScript(BeaconScriptConfig(browser_block_rate=0.0))
+        impression = make_impression(football_campaign)  # safeframe=False
+        observation = script.observe(impression, random.Random(0))
+        assert observation.pixels_in_view is None

@@ -1,0 +1,104 @@
+"""Tests for repro.collector.enrich — metadata first, anonymise second."""
+
+import random
+
+import pytest
+
+from repro.collector.enrich import Enricher
+from repro.collector.store import ImpressionRecord, ImpressionStore
+from repro.geo.denylist import DenyList
+from repro.geo.ipdb import GeoIpDatabase
+from repro.geo.providers import ProviderRegistry
+from repro.geo.resolver import DataCenterResolver
+from repro.web.publisher import Publisher
+from repro.web.ranking import RankingService
+
+
+@pytest.fixture
+def world():
+    registry = ProviderRegistry(random.Random(91))
+    ipdb = GeoIpDatabase(registry)
+    resolver = DataCenterResolver(ipdb, DenyList.from_registry(registry))
+    publisher = Publisher(domain="diario5.es", global_rank=777,
+                          country_focus="ES", topics=("news",),
+                          keywords=("news",))
+    ranking = RankingService([publisher])
+    return registry, Enricher(ipdb, resolver, ranking, salt="test")
+
+
+def insert_record(store, ip, domain="diario5.es"):
+    store.insert(ImpressionRecord(
+        record_id=store.next_record_id(),
+        campaign_id="C",
+        creative_id="C-creative",
+        url=f"http://{domain}/news/article-1.html",
+        user_agent="UA",
+        ip=ip,
+        timestamp=1000.0,
+        exposure_seconds=2.0,
+    ))
+
+
+class TestEnricher:
+    def test_enrichment_fills_metadata_then_anonymises(self, world):
+        registry, enricher = world
+        store = ImpressionStore()
+        isp = registry.access_providers("ES")[0]
+        insert_record(store, isp.blocks[0].nth(10))
+        assert enricher.enrich_store(store) == 1
+        record = next(iter(store))
+        assert record.ip == ""                      # raw IP gone
+        assert len(record.ip_token) == 16           # token present
+        assert record.provider == isp.name
+        assert record.country == "ES"
+        assert record.is_datacenter is False
+        assert record.global_rank == 777
+
+    def test_datacenter_ip_flagged(self, world):
+        registry, enricher = world
+        store = ImpressionStore()
+        dc = registry.datacenter_providers(include_vpn=False)[0]
+        insert_record(store, dc.blocks[0].nth(3))
+        enricher.enrich_store(store)
+        record = next(iter(store))
+        assert record.is_datacenter is True
+        assert record.dc_stage in ("denylist", "manual")
+
+    def test_unknown_domain_gets_no_rank(self, world):
+        registry, enricher = world
+        store = ImpressionStore()
+        insert_record(store, registry.access_providers("ES")[0].blocks[0].nth(1),
+                      domain="unknown-site.org")
+        enricher.enrich_store(store)
+        assert next(iter(store)).global_rank is None
+
+    def test_idempotent(self, world):
+        registry, enricher = world
+        store = ImpressionStore()
+        insert_record(store, registry.access_providers("ES")[0].blocks[0].nth(2))
+        assert enricher.enrich_store(store) == 1
+        assert enricher.enrich_store(store) == 0
+
+    def test_same_ip_same_token_links_users(self, world):
+        registry, enricher = world
+        store = ImpressionStore()
+        ip = registry.access_providers("ES")[0].blocks[0].nth(4)
+        insert_record(store, ip)
+        insert_record(store, ip)
+        enricher.enrich_store(store)
+        records = list(store)
+        assert records[0].ip_token == records[1].ip_token
+
+    def test_different_salt_unlinks_datasets(self, world):
+        registry, _ = world
+        ipdb = GeoIpDatabase(registry)
+        resolver = DataCenterResolver(ipdb, DenyList.from_registry(registry))
+        ranking = RankingService([])
+        ip = registry.access_providers("ES")[0].blocks[0].nth(5)
+        tokens = []
+        for salt in ("a", "b"):
+            store = ImpressionStore()
+            insert_record(store, ip, domain="x.org")
+            Enricher(ipdb, resolver, ranking, salt=salt).enrich_store(store)
+            tokens.append(next(iter(store)).ip_token)
+        assert tokens[0] != tokens[1]

@@ -1,0 +1,107 @@
+"""Tests for repro.collector.payload — the beacon wire format."""
+
+import pytest
+
+from repro.beacon.events import (
+    BeaconObservation,
+    InteractionEvent,
+    InteractionKind,
+)
+from repro.collector.payload import (
+    HelloMessage,
+    InteractionMessage,
+    PayloadError,
+    encode_hello,
+    encode_interaction,
+    parse_message,
+)
+
+
+def make_observation(**overrides):
+    defaults = dict(
+        campaign_id="Research-010",
+        creative_id="Research-010-creative",
+        page_url="http://diario1.es/news/article-9.html",
+        user_agent="Mozilla/5.0 (X11; Linux x86_64)",
+        interactions=(),
+        exposure_seconds=4.0,
+    )
+    defaults.update(overrides)
+    return BeaconObservation(**defaults)
+
+
+class TestHelloRoundtrip:
+    def test_basic_roundtrip(self):
+        observation = make_observation()
+        message = parse_message(encode_hello(observation))
+        assert isinstance(message, HelloMessage)
+        assert message.campaign_id == "Research-010"
+        assert message.url == observation.page_url
+        assert message.user_agent == observation.user_agent
+
+    def test_delimiters_in_values_survive(self):
+        observation = make_observation(
+            page_url="http://evil.es/a|b=c/article.html",
+            user_agent="UA|with=delims%stuff")
+        message = parse_message(encode_hello(observation))
+        assert message.url == "http://evil.es/a|b=c/article.html"
+        assert message.user_agent == "UA|with=delims%stuff"
+
+    def test_unicode_values_survive(self):
+        observation = make_observation(user_agent="Môzillä/5.0 ñ €")
+        message = parse_message(encode_hello(observation))
+        assert message.user_agent == "Môzillä/5.0 ñ €"
+
+
+class TestInteractionRoundtrip:
+    def test_mouse_move(self):
+        event = InteractionEvent(InteractionKind.MOUSE_MOVE, 3.217)
+        message = parse_message(encode_interaction(event))
+        assert isinstance(message, InteractionMessage)
+        assert message.kind is InteractionKind.MOUSE_MOVE
+        assert message.offset_seconds == pytest.approx(3.217)
+
+    def test_click(self):
+        event = InteractionEvent(InteractionKind.CLICK, 0.0)
+        message = parse_message(encode_interaction(event))
+        assert message.kind is InteractionKind.CLICK
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("raw", [
+        "",
+        "NOPE|v=1",
+        "HELLO",                                  # missing fields
+        "HELLO|v=2|cid=a|cr=b|url=u|ua=x",        # bad version
+        "HELLO|v=1|cid=a|cr=b|ua=x",              # missing url
+        "HELLO|v=1|cid=|cr=b|url=u|ua=x",         # empty campaign
+        "HELLO|v=1|cid=a|cid=b|cr=c|url=u|ua=x",  # duplicate field
+        "HELLO|v=1|garbage|cr=c|url=u|ua=x",      # field without '='
+        "EVT|kind=mousemove",                     # missing timestamp
+        "EVT|t=1.0",                              # missing kind
+        "EVT|kind=teleport|t=1.0",                # unknown kind
+        "EVT|kind=click|t=abc",                   # bad timestamp
+        "EVT|kind=click|t=-1.0",                  # negative timestamp
+    ])
+    def test_malformed_messages_rejected(self, raw):
+        with pytest.raises(PayloadError):
+            parse_message(raw)
+
+
+class TestSafeFramePixelFlag:
+    def test_pv_roundtrip_true_false(self):
+        for value in (True, False):
+            observation = make_observation(pixels_in_view=value)
+            message = parse_message(encode_hello(observation))
+            assert message.pixels_in_view is value
+
+    def test_pv_absent_when_unmeasurable(self):
+        observation = make_observation()          # pixels_in_view=None
+        wire = encode_hello(observation)
+        assert "pv=" not in wire
+        assert parse_message(wire).pixels_in_view is None
+
+    def test_bad_pv_value_rejected(self):
+        wire = encode_hello(make_observation()) + "|pv=2"
+        with pytest.raises(PayloadError):
+            parse_message(wire)

@@ -1,0 +1,231 @@
+"""Tests for repro.collector.server — protocol handling on the server side."""
+
+import random
+
+import pytest
+
+from repro.collector.server import CollectorServer
+from repro.collector.store import ImpressionStore
+from repro.net.transport import Endpoint, NetworkConditions, SimulatedNetwork
+from repro.net.websocket import (
+    Frame,
+    Opcode,
+    encode_frame,
+    make_client_key,
+    make_handshake_request,
+)
+from repro.util.simclock import SimClock
+
+CLIENT = Endpoint(ip="2.0.0.9", port=50000)
+
+
+@pytest.fixture
+def setup():
+    clock = SimClock(1000.0)
+    store = ImpressionStore()
+    network = SimulatedNetwork(clock, random.Random(81),
+                               NetworkConditions(connect_failure_rate=0.0,
+                                                 mid_stream_failure_rate=0.0))
+    collector = CollectorServer(store)
+    collector.attach(network)
+    return collector, store, network
+
+
+def open_connection(collector, network):
+    connection = network.connect(CLIENT, collector.endpoint, at_time=1000.0)
+    now = connection.opened_at_server
+    key = make_client_key(random.Random(5))
+    connection.client_send(make_handshake_request("h", "/beacon", key), now)
+    collector.process(connection)
+    return connection, now
+
+
+def send_text(collector, connection, text, now):
+    frame = encode_frame(Frame(Opcode.TEXT, text.encode("utf-8"), masked=True),
+                         rng=random.Random(9))
+    connection.client_send(frame, now)
+    collector.process(connection)
+
+
+HELLO = ("HELLO|v=1|cid=Research-010|cr=Research-010-creative"
+         "|url=http%3A%2F%2Fdiario1.es%2Fn%2Fa-1.html|ua=Mozilla%2F5.0")
+
+
+class TestHandshake:
+    def test_valid_handshake_gets_101(self, setup):
+        collector, _, network = setup
+        connection, _ = open_connection(collector, network)
+        response = connection.drain_client_inbox()
+        assert b"101 Switching Protocols" in response
+
+    def test_garbage_handshake_counted(self, setup):
+        collector, store, network = setup
+        connection = network.connect(CLIENT, collector.endpoint, at_time=1000.0)
+        now = connection.opened_at_server
+        connection.client_send(b"POST /x HTTP/1.1\r\nHost: h\r\n\r\n", now)
+        collector.process(connection)
+        assert collector.handshake_failures == 1
+        connection.close(now + 1)
+        assert collector.finalize(connection) is None
+        assert len(store) == 0
+
+    def test_split_handshake_reassembled(self, setup):
+        collector, _, network = setup
+        connection = network.connect(CLIENT, collector.endpoint, at_time=1000.0)
+        now = connection.opened_at_server
+        key = make_client_key(random.Random(6))
+        request = make_handshake_request("h", "/beacon", key)
+        connection.client_send(request[:20], now)
+        collector.process(connection)
+        connection.client_send(request[20:], now)
+        collector.process(connection)
+        assert b"101" in connection.drain_client_inbox()
+
+
+class TestFrameHandling:
+    def test_hello_then_close_commits_record(self, setup):
+        collector, store, network = setup
+        connection, now = open_connection(collector, network)
+        send_text(collector, connection, HELLO, now)
+        close = encode_frame(Frame(Opcode.CLOSE, b"", masked=True),
+                             rng=random.Random(10))
+        connection.client_send(close, now + 5.0)
+        connection.close(now + 5.0)
+        record = collector.finalize(connection)
+        assert record is not None
+        assert record.campaign_id == "Research-010"
+        assert record.domain == "diario1.es"
+        assert record.exposure_seconds == pytest.approx(5.0)
+        assert not record.truncated
+        assert collector.records_committed == 1
+
+    def test_interactions_accumulate(self, setup):
+        collector, store, network = setup
+        connection, now = open_connection(collector, network)
+        send_text(collector, connection, HELLO, now)
+        send_text(collector, connection, "EVT|kind=mousemove|t=1.0", now + 1)
+        send_text(collector, connection, "EVT|kind=mousemove|t=2.0", now + 2)
+        send_text(collector, connection, "EVT|kind=click|t=3.0", now + 3)
+        connection.close(now + 4)
+        record = collector.finalize(connection)
+        assert record.mouse_moves == 2
+        assert record.clicks == 1
+
+    def test_unmasked_client_frame_fails_session(self, setup):
+        collector, store, network = setup
+        connection, now = open_connection(collector, network)
+        frame = encode_frame(Frame(Opcode.TEXT, HELLO.encode(), masked=False))
+        connection.client_send(frame, now)
+        collector.process(connection)
+        connection.close(now + 1)
+        assert collector.finalize(connection) is None
+        assert collector.malformed_messages == 1
+
+    def test_malformed_payload_dropped_but_session_continues(self, setup):
+        collector, store, network = setup
+        connection, now = open_connection(collector, network)
+        send_text(collector, connection, "BOGUS|x=1", now)
+        send_text(collector, connection, HELLO, now + 1)
+        connection.close(now + 2)
+        record = collector.finalize(connection)
+        assert record is not None
+        assert collector.malformed_messages == 1
+
+    def test_duplicate_hello_counted_as_malformed(self, setup):
+        collector, _, network = setup
+        connection, now = open_connection(collector, network)
+        send_text(collector, connection, HELLO, now)
+        send_text(collector, connection, HELLO, now + 1)
+        connection.close(now + 2)
+        record = collector.finalize(connection)
+        assert record is not None
+        assert collector.malformed_messages == 1
+
+    def test_no_hello_connection_counted(self, setup):
+        collector, store, network = setup
+        connection, now = open_connection(collector, network)
+        connection.close(now + 2)
+        assert collector.finalize(connection) is None
+        assert collector.connections_without_hello == 1
+
+    def test_network_close_marks_truncated(self, setup):
+        collector, _, network = setup
+        connection, now = open_connection(collector, network)
+        send_text(collector, connection, HELLO, now)
+        connection.close(now + 2, initiator="network")  # no CLOSE frame
+        record = collector.finalize(connection)
+        assert record.truncated
+
+    def test_ping_frames_ignored(self, setup):
+        collector, _, network = setup
+        connection, now = open_connection(collector, network)
+        send_text(collector, connection, HELLO, now)
+        ping = encode_frame(Frame(Opcode.PING, b"hi", masked=True),
+                            rng=random.Random(11))
+        connection.client_send(ping, now + 1)
+        collector.process(connection)
+        connection.close(now + 2)
+        assert collector.finalize(connection) is not None
+        assert collector.malformed_messages == 0
+
+
+class TestFinalize:
+    def test_finalize_open_connection_rejected(self, setup):
+        collector, _, network = setup
+        connection, _ = open_connection(collector, network)
+        with pytest.raises(ValueError):
+            collector.finalize(connection)
+        # Session is retained for a later, correct finalize.
+        assert collector.session_count() == 1
+
+    def test_finalize_unknown_connection_is_noop(self, setup):
+        collector, _, network = setup
+        connection, now = open_connection(collector, network)
+        connection.close(now + 1)
+        collector.finalize(connection)
+        assert collector.finalize(connection) is None
+
+    def test_record_ids_are_sequential(self, setup):
+        collector, store, network = setup
+        for index in range(3):
+            connection, now = open_connection(collector, network)
+            send_text(collector, connection, HELLO, now)
+            connection.close(now + 1)
+            collector.finalize(connection)
+        assert [record.record_id for record in store] == [1, 2, 3]
+
+
+class TestFragmentedMessages:
+    def test_fragmented_hello_reassembled(self, setup):
+        collector, store, network = setup
+        connection, now = open_connection(collector, network)
+        payload = HELLO.encode("utf-8")
+        half = len(payload) // 2
+        rng = random.Random(21)
+        first = encode_frame(Frame(Opcode.TEXT, payload[:half], fin=False,
+                                   masked=True), rng=rng)
+        rest = encode_frame(Frame(Opcode.CONTINUATION, payload[half:],
+                                  masked=True), rng=rng)
+        connection.client_send(first, now)
+        collector.process(connection)
+        connection.client_send(rest, now + 0.5)
+        collector.process(connection)
+        connection.close(now + 2)
+        record = collector.finalize(connection)
+        assert record is not None
+        assert record.campaign_id == "Research-010"
+
+    def test_interleaved_new_message_fails_session(self, setup):
+        collector, _, network = setup
+        connection, now = open_connection(collector, network)
+        rng = random.Random(22)
+        fragment = encode_frame(Frame(Opcode.TEXT, b"partial", fin=False,
+                                      masked=True), rng=rng)
+        intruder = encode_frame(Frame(Opcode.TEXT, HELLO.encode(),
+                                      masked=True), rng=rng)
+        connection.client_send(fragment, now)
+        connection.client_send(intruder, now + 1)
+        collector.process(connection)
+        connection.close(now + 2)
+        assert collector.finalize(connection) is None
+        assert collector.malformed_messages == 1

@@ -1,0 +1,141 @@
+"""Tests for repro.collector.store — the impression database."""
+
+import pytest
+
+from repro.collector.store import ImpressionRecord, ImpressionStore
+
+
+def make_record(record_id=1, campaign="Research-010", domain="diario1.es",
+                ip="2.0.0.1", ua="UA-1", timestamp=1000.0, exposure=3.0,
+                **overrides):
+    defaults = dict(
+        record_id=record_id,
+        campaign_id=campaign,
+        creative_id=f"{campaign}-creative",
+        url=f"http://{domain}/news/article-1.html",
+        user_agent=ua,
+        ip=ip,
+        timestamp=timestamp,
+        exposure_seconds=exposure,
+    )
+    defaults.update(overrides)
+    return ImpressionRecord(**defaults)
+
+
+class TestImpressionRecord:
+    def test_domain_extraction(self):
+        assert make_record().domain == "diario1.es"
+
+    def test_user_key_combines_ip_and_ua(self):
+        a = make_record(ip="1.1.1.1", ua="UA-1")
+        b = make_record(ip="1.1.1.1", ua="UA-2")
+        assert a.user_key != b.user_key
+
+    def test_user_key_prefers_token_after_anonymisation(self):
+        record = make_record(ip="", ip_token="abcd1234abcd1234")
+        assert record.user_key.startswith("abcd1234abcd1234")
+
+    def test_viewable_upper_bound(self):
+        assert make_record(exposure=1.0).viewable_upper_bound
+        assert not make_record(exposure=0.99).viewable_upper_bound
+
+    @pytest.mark.parametrize("overrides", [
+        {"record_id": 0},
+        {"campaign_id": ""},
+        {"url": ""},
+        {"exposure_seconds": -1.0},
+        {"mouse_moves": -1},
+        {"ip": ""},                       # no ip and no token
+    ])
+    def test_validation(self, overrides):
+        with pytest.raises(ValueError):
+            make_record(**overrides)
+
+
+class TestImpressionStore:
+    def test_insert_enforces_sequential_ids(self):
+        store = ImpressionStore()
+        store.insert(make_record(record_id=store.next_record_id()))
+        with pytest.raises(ValueError):
+            store.insert(make_record(record_id=5))
+
+    def test_len_and_iteration(self):
+        store = ImpressionStore()
+        for _ in range(3):
+            store.insert(make_record(record_id=store.next_record_id()))
+        assert len(store) == 3
+        assert len(list(store)) == 3
+
+    def test_campaigns_in_first_seen_order(self):
+        store = ImpressionStore()
+        for campaign in ("B", "A", "B", "C"):
+            store.insert(make_record(record_id=store.next_record_id(),
+                                     campaign=campaign))
+        assert store.campaigns() == ["B", "A", "C"]
+
+    def test_by_campaign(self):
+        store = ImpressionStore()
+        for campaign in ("A", "B", "A"):
+            store.insert(make_record(record_id=store.next_record_id(),
+                                     campaign=campaign))
+        assert len(store.by_campaign("A")) == 2
+        assert store.by_campaign("missing") == []
+
+    def test_distinct_domains(self):
+        store = ImpressionStore()
+        for domain in ("a.es", "b.es", "a.es"):
+            store.insert(make_record(record_id=store.next_record_id(),
+                                     domain=domain))
+        assert store.distinct_domains() == {"a.es", "b.es"}
+
+    def test_by_user_grouping(self):
+        store = ImpressionStore()
+        for ip, ua in (("1.1.1.1", "X"), ("1.1.1.1", "X"), ("1.1.1.1", "Y")):
+            store.insert(make_record(record_id=store.next_record_id(),
+                                     ip=ip, ua=ua))
+        grouped = store.by_user()
+        assert sorted(len(records) for records in grouped.values()) == [1, 2]
+
+    def test_where_predicate(self):
+        store = ImpressionStore()
+        store.insert(make_record(record_id=1, exposure=0.5))
+        store.insert(make_record(record_id=2, exposure=5.0))
+        viewable = store.where(lambda record: record.viewable_upper_bound)
+        assert [record.record_id for record in viewable] == [2]
+
+    def test_replace_at_updates_in_place(self):
+        store = ImpressionStore()
+        store.insert(make_record(record_id=1))
+        store.replace_at(0, make_record(record_id=1, exposure=9.0))
+        assert next(iter(store)).exposure_seconds == 9.0
+
+
+class TestPersistence:
+    def test_jsonl_roundtrip(self, tmp_path):
+        store = ImpressionStore()
+        store.insert(make_record(record_id=1, ip="", ip_token="t" * 16,
+                                 is_datacenter=True, dc_stage="denylist",
+                                 global_rank=42))
+        store.insert(make_record(record_id=2, mouse_moves=3, clicks=1,
+                                 truncated=True))
+        path = tmp_path / "impressions.jsonl"
+        assert store.dump_jsonl(path) == 2
+        loaded = ImpressionStore.load_jsonl(path)
+        assert len(loaded) == 2
+        original = list(store)
+        restored = list(loaded)
+        assert original == restored
+
+    def test_load_rejects_corrupt_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"not": "a record"}\n')
+        with pytest.raises(ValueError):
+            ImpressionStore.load_jsonl(path)
+
+    def test_load_skips_blank_lines(self, tmp_path):
+        store = ImpressionStore()
+        store.insert(make_record(record_id=1))
+        path = tmp_path / "ok.jsonl"
+        store.dump_jsonl(path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(ImpressionStore.load_jsonl(path)) == 1

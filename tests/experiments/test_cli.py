@@ -1,0 +1,59 @@
+"""Tests for the ``python -m repro`` command line."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.scale == 0.05
+        assert args.seed == 2016
+        assert args.table is None
+        assert args.figure is None
+
+    def test_repeatable_table_and_figure(self):
+        args = build_parser().parse_args(
+            ["--table", "2", "--table", "4", "--figure", "1"])
+        assert args.table == [2, 4]
+        assert args.figure == [1]
+
+    def test_rejects_unknown_table(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--table", "9"])
+
+
+class TestMain:
+    def test_prints_requested_artifacts(self, capsys, tmp_path):
+        code = main(["--scale", "0.01", "--seed", "5",
+                     "--table", "3", "--figure", "1",
+                     "--dump-dataset", str(tmp_path / "ds.jsonl"),
+                     "--json", str(tmp_path / "audit.json"),
+                     "--csv", str(tmp_path / "audit.csv")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "Figure 1" in out
+
+        dataset_lines = (tmp_path / "ds.jsonl").read_text().splitlines()
+        assert dataset_lines
+        json.loads(dataset_lines[0])
+
+        audit = json.loads((tmp_path / "audit.json").read_text())
+        assert len(audit["campaigns"]) == 8
+
+        rows = list(csv.reader(io.StringIO(
+            (tmp_path / "audit.csv").read_text())))
+        assert len(rows) == 9   # header + 8 campaigns
+
+    def test_default_output_is_full_audit(self, capsys):
+        code = main(["--scale", "0.01", "--seed", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Brand safety" in out
+        assert "Frequency capping" in out

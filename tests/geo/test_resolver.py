@@ -1,0 +1,109 @@
+"""Tests for repro.geo.resolver — the 3-stage data-center cascade."""
+
+import random
+
+import pytest
+
+from repro.geo.denylist import DenyList
+from repro.geo.ipdb import GeoIpDatabase
+from repro.geo.providers import ProviderRegistry
+from repro.geo.resolver import DataCenterResolver, DcStage
+
+
+@pytest.fixture
+def world():
+    registry = ProviderRegistry(random.Random(13))
+    ipdb = GeoIpDatabase(registry)
+    denylist = DenyList.from_registry(registry, coverage=0.7)
+    return registry, ipdb, denylist
+
+
+class TestCascade:
+    def test_listed_datacenter_ip_caught_at_denylist_stage(self, world):
+        registry, ipdb, denylist = world
+        resolver = DataCenterResolver(ipdb, denylist)
+        covered = registry.datacenter_providers(include_vpn=False)[0]
+        verdict = resolver.classify(covered.random_ip(random.Random(1)))
+        assert verdict.is_datacenter
+        assert verdict.stage is DcStage.DENYLIST
+        assert verdict.provider == covered.name
+
+    def test_unlisted_datacenter_caught_at_manual_stage(self, world):
+        registry, ipdb, denylist = world
+        resolver = DataCenterResolver(ipdb, denylist)
+        datacenters = registry.datacenter_providers(include_vpn=False)
+        uncovered = datacenters[-1]  # coverage 0.7 leaves the tail out
+        ip = uncovered.random_ip(random.Random(2))
+        assert not denylist.covers(ip)
+        verdict = resolver.classify(ip)
+        assert verdict.is_datacenter
+        assert verdict.stage is DcStage.MANUAL
+
+    def test_residential_ip_cleared(self, world):
+        registry, ipdb, denylist = world
+        resolver = DataCenterResolver(ipdb, denylist)
+        ip = registry.access_providers("ES")[0].random_ip(random.Random(3))
+        verdict = resolver.classify(ip)
+        assert not verdict.is_datacenter
+        assert verdict.stage is DcStage.CLEARED
+
+    def test_vpn_space_cleared_as_industry_exception(self, world):
+        registry, ipdb, denylist = world
+        resolver = DataCenterResolver(ipdb, denylist)
+        vpn = [p for p in registry.datacenter_providers(include_vpn=True)
+               if not p.advertises_hosting][0]
+        verdict = resolver.classify(vpn.random_ip(random.Random(4)))
+        assert not verdict.is_datacenter
+        assert verdict.stage is DcStage.CLEARED
+
+    def test_unallocated_ip_unresolved(self, world):
+        _, ipdb, denylist = world
+        resolver = DataCenterResolver(ipdb, denylist)
+        verdict = resolver.classify("1.2.3.4")
+        assert not verdict.is_datacenter
+        assert verdict.stage is DcStage.UNRESOLVED
+        assert verdict.provider is None
+
+    def test_stage_counters_accumulate(self, world):
+        registry, ipdb, denylist = world
+        resolver = DataCenterResolver(ipdb, denylist)
+        rng = random.Random(5)
+        resolver.classify(registry.datacenter_providers(False)[0].random_ip(rng))
+        resolver.classify(registry.access_providers("ES")[0].random_ip(rng))
+        resolver.classify("1.2.3.4")
+        assert resolver.stage_counts[DcStage.DENYLIST] == 1
+        assert resolver.stage_counts[DcStage.CLEARED] == 1
+        assert resolver.stage_counts[DcStage.UNRESOLVED] == 1
+
+    def test_verdict_is_truthy_when_datacenter(self, world):
+        registry, ipdb, denylist = world
+        resolver = DataCenterResolver(ipdb, denylist)
+        dc = registry.datacenter_providers(False)[0]
+        assert resolver.classify(dc.random_ip(random.Random(6)))
+        assert resolver.is_datacenter(dc.random_ip(random.Random(7)))
+
+
+class TestStageAblation:
+    def test_disable_denylist_pushes_detection_to_manual(self, world):
+        registry, ipdb, denylist = world
+        resolver = DataCenterResolver(ipdb, denylist, enable_denylist=False)
+        covered = registry.datacenter_providers(False)[0]
+        verdict = resolver.classify(covered.random_ip(random.Random(8)))
+        assert verdict.is_datacenter
+        assert verdict.stage is DcStage.MANUAL
+
+    def test_disable_both_stages_misses_everything(self, world):
+        registry, ipdb, denylist = world
+        resolver = DataCenterResolver(ipdb, denylist,
+                                      enable_denylist=False,
+                                      enable_manual=False)
+        covered = registry.datacenter_providers(False)[0]
+        verdict = resolver.classify(covered.random_ip(random.Random(9)))
+        assert not verdict.is_datacenter
+
+    def test_manual_only_still_catches_unlisted(self, world):
+        registry, ipdb, denylist = world
+        resolver = DataCenterResolver(ipdb, denylist, enable_denylist=False)
+        uncovered = registry.datacenter_providers(False)[-1]
+        assert resolver.classify(
+            uncovered.random_ip(random.Random(10))).is_datacenter

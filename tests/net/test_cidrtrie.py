@@ -1,0 +1,89 @@
+"""Tests for repro.net.cidrtrie — longest-prefix-match trie."""
+
+import pytest
+
+from repro.net.cidrtrie import CidrTrie
+from repro.net.ipv4 import parse_cidr
+
+
+class TestCidrTrie:
+    def test_empty_trie_matches_nothing(self):
+        trie = CidrTrie()
+        assert trie.lookup("1.2.3.4") is None
+        assert not trie.covers("1.2.3.4")
+        assert len(trie) == 0
+
+    def test_single_prefix(self):
+        trie = CidrTrie()
+        trie.insert("10.0.0.0/8", "ten")
+        assert trie.lookup("10.1.2.3") == "ten"
+        assert trie.lookup("11.0.0.0") is None
+
+    def test_longest_prefix_wins(self):
+        trie = CidrTrie()
+        trie.insert("10.0.0.0/8", "short")
+        trie.insert("10.1.0.0/16", "long")
+        trie.insert("10.1.2.0/24", "longest")
+        assert trie.lookup("10.1.2.9") == "longest"
+        assert trie.lookup("10.1.9.9") == "long"
+        assert trie.lookup("10.9.9.9") == "short"
+
+    def test_insertion_order_is_irrelevant(self):
+        first = CidrTrie()
+        first.insert("10.0.0.0/8", "a")
+        first.insert("10.1.0.0/16", "b")
+        second = CidrTrie()
+        second.insert("10.1.0.0/16", "b")
+        second.insert("10.0.0.0/8", "a")
+        for ip in ("10.1.0.1", "10.2.0.1"):
+            assert first.lookup(ip) == second.lookup(ip)
+
+    def test_replace_value_keeps_size(self):
+        trie = CidrTrie()
+        trie.insert("10.0.0.0/8", "old")
+        trie.insert("10.0.0.0/8", "new")
+        assert trie.lookup("10.0.0.1") == "new"
+        assert len(trie) == 1
+
+    def test_default_route(self):
+        trie = CidrTrie()
+        trie.insert("0.0.0.0/0", "default")
+        trie.insert("10.0.0.0/8", "specific")
+        assert trie.lookup("8.8.8.8") == "default"
+        assert trie.lookup("10.0.0.1") == "specific"
+
+    def test_host_route(self):
+        trie = CidrTrie()
+        trie.insert("1.2.3.4/32", "host")
+        assert trie.lookup("1.2.3.4") == "host"
+        assert trie.lookup("1.2.3.5") is None
+
+    def test_lookup_with_prefix_returns_covering_block(self):
+        trie = CidrTrie()
+        trie.insert("192.168.0.0/16", "lan")
+        match = trie.lookup_with_prefix("192.168.4.4")
+        assert match is not None
+        cidr, value = match
+        assert str(cidr) == "192.168.0.0/16"
+        assert value == "lan"
+
+    def test_items_returns_all_inserted_prefixes(self):
+        trie = CidrTrie()
+        blocks = ["10.0.0.0/8", "10.1.0.0/16", "172.16.0.0/12", "0.0.0.0/0"]
+        for index, block in enumerate(blocks):
+            trie.insert(block, index)
+        found = {str(cidr) for cidr, _ in trie.items()}
+        assert found == set(blocks)
+
+    def test_accepts_cidr_objects(self):
+        trie = CidrTrie()
+        trie.insert(parse_cidr("10.0.0.0/8"), "x")
+        assert trie.lookup("10.0.0.1") == "x"
+
+    def test_adjacent_blocks_do_not_bleed(self):
+        trie = CidrTrie()
+        trie.insert("10.0.0.0/24", "a")
+        trie.insert("10.0.1.0/24", "b")
+        assert trie.lookup("10.0.0.255") == "a"
+        assert trie.lookup("10.0.1.0") == "b"
+        assert trie.lookup("10.0.2.0") is None

@@ -1,0 +1,156 @@
+"""Tests for repro.net.transport — the simulated connection layer."""
+
+import random
+
+import pytest
+
+from repro.net.transport import (
+    Connection,
+    ConnectionClosed,
+    Endpoint,
+    NetworkConditions,
+    SimulatedNetwork,
+)
+from repro.util.simclock import SimClock
+
+CLIENT = Endpoint(ip="2.0.0.1", port=50000)
+SERVER = Endpoint(ip="198.51.100.10", port=443)
+
+
+def make_network(connect_failure_rate=0.0, mid_stream_failure_rate=0.0,
+                 seed=0, skew=0.0):
+    clock = SimClock(1000.0, server_skew=skew)
+    conditions = NetworkConditions(
+        connect_failure_rate=connect_failure_rate,
+        mid_stream_failure_rate=mid_stream_failure_rate)
+    return SimulatedNetwork(clock, random.Random(seed), conditions), clock
+
+
+class TestNetworkConditions:
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            NetworkConditions(connect_failure_rate=1.5)
+        with pytest.raises(ValueError):
+            NetworkConditions(mid_stream_failure_rate=-0.1)
+        with pytest.raises(ValueError):
+            NetworkConditions(base_latency=-1.0)
+
+
+class TestConnect:
+    def test_successful_connect_returns_connection(self):
+        network, _ = make_network()
+        connection = network.connect(CLIENT, SERVER)
+        assert connection is not None
+        assert connection.client == CLIENT
+        assert connection.is_open
+
+    def test_open_time_includes_latency_and_skew(self):
+        network, clock = make_network(skew=2.0)
+        connection = network.connect(CLIENT, SERVER, at_time=1000.0)
+        assert connection.opened_at_server >= 1002.0
+        assert connection.opened_at_server <= 1002.0 + 0.2
+
+    def test_connect_failure_returns_none_and_counts(self):
+        network, _ = make_network(connect_failure_rate=1.0)
+        assert network.connect(CLIENT, SERVER) is None
+        assert network.failed_connects == 1
+
+    def test_accept_callback_fires(self):
+        network, _ = make_network()
+        accepted = []
+        network.on_accept(accepted.append)
+        connection = network.connect(CLIENT, SERVER)
+        assert accepted == [connection]
+
+    def test_connection_ids_are_unique(self):
+        network, _ = make_network()
+        ids = {network.connect(CLIENT, SERVER).connection_id for _ in range(10)}
+        assert len(ids) == 10
+
+
+class TestDataTransfer:
+    def test_client_bytes_reach_server_inbox(self):
+        network, _ = make_network()
+        connection = network.connect(CLIENT, SERVER, at_time=1000.0)
+        now = connection.opened_at_server
+        connection.client_send(b"hello", now)
+        connection.client_send(b" world", now + 1)
+        assert connection.drain_server_inbox() == b"hello world"
+        assert connection.drain_server_inbox() == b""
+
+    def test_server_bytes_reach_client_inbox(self):
+        network, _ = make_network()
+        connection = network.connect(CLIENT, SERVER, at_time=1000.0)
+        connection.server_send(b"101", connection.opened_at_server)
+        assert connection.drain_client_inbox() == b"101"
+
+    def test_send_before_establishment_rejected(self):
+        network, _ = make_network()
+        connection = network.connect(CLIENT, SERVER, at_time=1000.0)
+        with pytest.raises(ValueError):
+            connection.client_send(b"x", connection.opened_at_server - 1.0)
+
+    def test_send_after_close_rejected(self):
+        network, _ = make_network()
+        connection = network.connect(CLIENT, SERVER, at_time=1000.0)
+        connection.close(connection.opened_at_server + 5.0)
+        with pytest.raises(ConnectionClosed):
+            connection.client_send(b"x", connection.opened_at_server + 6.0)
+
+
+class TestCloseAndDuration:
+    def test_duration_is_server_side_close_minus_open(self):
+        network, _ = make_network()
+        connection = network.connect(CLIENT, SERVER, at_time=1000.0)
+        connection.close(connection.opened_at_server + 7.25)
+        assert connection.duration == pytest.approx(7.25)
+
+    def test_duration_unavailable_while_open(self):
+        network, _ = make_network()
+        connection = network.connect(CLIENT, SERVER, at_time=1000.0)
+        with pytest.raises(ConnectionClosed):
+            _ = connection.duration
+
+    def test_double_close_rejected(self):
+        network, _ = make_network()
+        connection = network.connect(CLIENT, SERVER, at_time=1000.0)
+        connection.close(connection.opened_at_server + 1.0)
+        with pytest.raises(ConnectionClosed):
+            connection.close(connection.opened_at_server + 2.0)
+
+    def test_close_before_open_rejected(self):
+        network, _ = make_network()
+        connection = network.connect(CLIENT, SERVER, at_time=1000.0)
+        with pytest.raises(ValueError):
+            connection.close(connection.opened_at_server - 1.0)
+
+    def test_close_records_initiator(self):
+        network, _ = make_network()
+        connection = network.connect(CLIENT, SERVER, at_time=1000.0)
+        connection.close(connection.opened_at_server + 1.0, initiator="network")
+        assert connection.close_initiator == "network"
+
+
+class TestMidStreamDrop:
+    def test_never_drops_at_zero_rate(self):
+        network, _ = make_network(mid_stream_failure_rate=0.0)
+        connection = network.connect(CLIENT, SERVER, at_time=1000.0)
+        for offset in range(1, 50):
+            assert not network.maybe_drop_mid_stream(
+                connection, connection.opened_at_server + offset)
+        assert connection.is_open
+
+    def test_always_drops_at_full_rate(self):
+        network, _ = make_network(mid_stream_failure_rate=1.0)
+        connection = network.connect(CLIENT, SERVER, at_time=1000.0)
+        assert network.maybe_drop_mid_stream(
+            connection, connection.opened_at_server + 1.0)
+        assert not connection.is_open
+        assert connection.close_initiator == "network"
+
+    def test_drop_on_closed_connection_is_noop(self):
+        network, _ = make_network(mid_stream_failure_rate=1.0)
+        connection = network.connect(CLIENT, SERVER, at_time=1000.0)
+        connection.close(connection.opened_at_server + 1.0)
+        assert not network.maybe_drop_mid_stream(
+            connection, connection.opened_at_server + 2.0)

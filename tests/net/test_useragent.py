@@ -1,0 +1,67 @@
+"""Tests for repro.net.useragent."""
+
+import random
+
+import pytest
+
+from repro.net.useragent import generate_user_agent, parse_user_agent
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("browser", ["chrome", "firefox", "safari",
+                                         "msie", "opera", "headless"])
+    def test_generate_parse_roundtrip(self, browser):
+        rng = random.Random(1)
+        raw = generate_user_agent(rng, device="desktop", browser=browser)
+        assert parse_user_agent(raw).browser == browser
+
+    def test_mobile_device_detected(self):
+        rng = random.Random(2)
+        raw = generate_user_agent(rng, device="mobile", browser="chrome")
+        assert parse_user_agent(raw).device == "mobile"
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(ValueError):
+            generate_user_agent(random.Random(0), device="toaster")
+
+    def test_unknown_browser_rejected(self):
+        with pytest.raises(ValueError):
+            generate_user_agent(random.Random(0), browser="netscape")
+
+    def test_random_browser_draw_is_plausible(self):
+        rng = random.Random(3)
+        browsers = {parse_user_agent(generate_user_agent(rng)).browser
+                    for _ in range(300)}
+        assert "chrome" in browsers
+        assert len(browsers) >= 4
+
+    def test_deterministic_given_rng(self):
+        assert generate_user_agent(random.Random(9)) == \
+            generate_user_agent(random.Random(9))
+
+
+class TestParse:
+    def test_headless_flag(self):
+        rng = random.Random(4)
+        raw = generate_user_agent(rng, device="server", browser="headless")
+        parsed = parse_user_agent(raw)
+        assert parsed.is_headless
+
+    def test_unknown_string_classifies_gracefully(self):
+        parsed = parse_user_agent("curl/7.58.0")
+        assert parsed.browser == "unknown"
+        assert parsed.device == "desktop"
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(ValueError):
+            parse_user_agent("")
+
+    def test_opera_not_misread_as_chrome(self):
+        raw = ("Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 "
+               "(KHTML, like Gecko) Chrome/48.0.2564.116 Safari/537.36 OPR/35.0.2066.68")
+        assert parse_user_agent(raw).browser == "opera"
+
+    def test_safari_not_misread_from_chrome_ua(self):
+        raw = ("Mozilla/5.0 (Macintosh; Intel Mac OS X 10_11_4) AppleWebKit/537.36 "
+               "(KHTML, like Gecko) Chrome/49.0.2623.87 Safari/537.36")
+        assert parse_user_agent(raw).browser == "chrome"

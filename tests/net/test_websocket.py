@@ -1,0 +1,241 @@
+"""Tests for repro.net.websocket — RFC 6455 framing and handshake."""
+
+import random
+
+import pytest
+
+from repro.net.websocket import (
+    Frame,
+    FrameDecoder,
+    IncompleteFrame,
+    MessageAssembler,
+    Opcode,
+    WebSocketError,
+    accept_key,
+    decode_frame,
+    encode_frame,
+    make_client_key,
+    make_handshake_request,
+    make_handshake_response,
+    parse_handshake_request,
+)
+
+
+def roundtrip(frame: Frame, mask_key: bytes = b"\x11\x22\x33\x44") -> Frame:
+    wire = encode_frame(frame, mask_key=mask_key if frame.masked else None)
+    decoded, consumed = decode_frame(wire)
+    assert consumed == len(wire)
+    return decoded
+
+
+class TestFrameRoundtrip:
+    def test_unmasked_text(self):
+        frame = roundtrip(Frame(Opcode.TEXT, b"hello"))
+        assert frame.opcode is Opcode.TEXT
+        assert frame.payload == b"hello"
+        assert frame.fin
+
+    def test_masked_text_payload_recovered(self):
+        frame = roundtrip(Frame(Opcode.TEXT, b"secret", masked=True))
+        assert frame.payload == b"secret"
+        assert frame.masked
+
+    def test_masking_obscures_wire_bytes(self):
+        payload = b"AAAAAAAA"
+        wire = encode_frame(Frame(Opcode.TEXT, payload, masked=True),
+                            mask_key=b"\x5a\x5a\x5a\x5a")
+        assert payload not in wire
+
+    def test_empty_payload(self):
+        assert roundtrip(Frame(Opcode.TEXT, b"")).payload == b""
+
+    def test_binary_frame(self):
+        frame = roundtrip(Frame(Opcode.BINARY, bytes(range(256))))
+        assert frame.payload == bytes(range(256))
+
+    def test_utf8_text_property(self):
+        frame = roundtrip(Frame(Opcode.TEXT, "ñandú €".encode("utf-8")))
+        assert frame.text == "ñandú €"
+
+    def test_invalid_utf8_raises_on_text(self):
+        frame = roundtrip(Frame(Opcode.TEXT, b"\xff\xfe"))
+        with pytest.raises(WebSocketError):
+            _ = frame.text
+
+    @pytest.mark.parametrize("length", [125, 126, 127, 65535, 65536, 70000])
+    def test_length_encoding_boundaries(self, length):
+        frame = roundtrip(Frame(Opcode.BINARY, b"x" * length))
+        assert len(frame.payload) == length
+
+    def test_wire_uses_minimal_length_encoding(self):
+        short = encode_frame(Frame(Opcode.TEXT, b"x" * 125))
+        medium = encode_frame(Frame(Opcode.TEXT, b"x" * 126))
+        long = encode_frame(Frame(Opcode.TEXT, b"x" * 65536))
+        assert len(short) == 2 + 125
+        assert len(medium) == 4 + 126
+        assert len(long) == 10 + 65536
+
+    def test_non_fin_fragment(self):
+        frame = roundtrip(Frame(Opcode.TEXT, b"part", fin=False))
+        assert not frame.fin
+
+    def test_random_mask_key_from_rng_is_deterministic(self):
+        one = encode_frame(Frame(Opcode.TEXT, b"x", masked=True),
+                           rng=random.Random(1))
+        two = encode_frame(Frame(Opcode.TEXT, b"x", masked=True),
+                           rng=random.Random(1))
+        assert one == two
+
+
+class TestFrameValidation:
+    def test_control_frame_must_be_fin(self):
+        with pytest.raises(WebSocketError):
+            Frame(Opcode.PING, b"", fin=False)
+
+    def test_control_frame_payload_limit(self):
+        Frame(Opcode.PING, b"x" * 125)
+        with pytest.raises(WebSocketError):
+            Frame(Opcode.PING, b"x" * 126)
+
+    def test_decode_rejects_reserved_bits(self):
+        wire = bytearray(encode_frame(Frame(Opcode.TEXT, b"x")))
+        wire[0] |= 0x40
+        with pytest.raises(WebSocketError):
+            decode_frame(bytes(wire))
+
+    def test_decode_rejects_unknown_opcode(self):
+        with pytest.raises(WebSocketError):
+            decode_frame(bytes([0x83, 0x00]))  # opcode 0x3 is reserved
+
+    def test_decode_rejects_non_minimal_16bit_length(self):
+        # 126 marker but actual length 5
+        wire = bytes([0x81, 126, 0, 5]) + b"hello"
+        with pytest.raises(WebSocketError):
+            decode_frame(wire)
+
+    def test_decode_rejects_oversized_control(self):
+        # ping with 16-bit length marker
+        wire = bytes([0x89, 126, 0, 200]) + b"x" * 200
+        with pytest.raises(WebSocketError):
+            decode_frame(wire)
+
+    def test_incomplete_header_raises_incomplete(self):
+        with pytest.raises(IncompleteFrame):
+            decode_frame(b"\x81")
+
+    def test_incomplete_payload_raises_incomplete(self):
+        wire = encode_frame(Frame(Opcode.TEXT, b"hello"))
+        with pytest.raises(IncompleteFrame):
+            decode_frame(wire[:-1])
+
+    def test_bad_mask_key_length(self):
+        with pytest.raises(WebSocketError):
+            encode_frame(Frame(Opcode.TEXT, b"x", masked=True), mask_key=b"\x01")
+
+
+class TestFrameDecoder:
+    def test_coalesced_frames(self):
+        wire = (encode_frame(Frame(Opcode.TEXT, b"one"))
+                + encode_frame(Frame(Opcode.TEXT, b"two")))
+        decoder = FrameDecoder()
+        frames = list(decoder.feed(wire))
+        assert [frame.payload for frame in frames] == [b"one", b"two"]
+        assert decoder.pending_bytes == 0
+
+    def test_byte_by_byte_delivery(self):
+        wire = encode_frame(Frame(Opcode.TEXT, b"fragmented"))
+        decoder = FrameDecoder()
+        frames = []
+        for index in range(len(wire)):
+            frames.extend(decoder.feed(wire[index:index + 1]))
+        assert len(frames) == 1
+        assert frames[0].payload == b"fragmented"
+
+    def test_split_across_two_chunks(self):
+        wire = encode_frame(Frame(Opcode.TEXT, b"x" * 300))
+        decoder = FrameDecoder()
+        assert list(decoder.feed(wire[:10])) == []
+        frames = list(decoder.feed(wire[10:]))
+        assert len(frames) == 1
+
+    def test_require_masked_rejects_unmasked(self):
+        decoder = FrameDecoder(require_masked=True)
+        wire = encode_frame(Frame(Opcode.TEXT, b"x"))
+        with pytest.raises(WebSocketError):
+            list(decoder.feed(wire))
+
+    def test_require_masked_accepts_masked(self):
+        decoder = FrameDecoder(require_masked=True)
+        wire = encode_frame(Frame(Opcode.TEXT, b"x", masked=True),
+                            mask_key=b"\x01\x02\x03\x04")
+        assert len(list(decoder.feed(wire))) == 1
+
+
+class TestMessageAssembler:
+    def test_single_frame_message(self):
+        assembler = MessageAssembler()
+        result = assembler.push(Frame(Opcode.TEXT, b"whole"))
+        assert result == (Opcode.TEXT, b"whole")
+
+    def test_fragmented_message(self):
+        assembler = MessageAssembler()
+        assert assembler.push(Frame(Opcode.TEXT, b"he", fin=False)) is None
+        assert assembler.push(Frame(Opcode.CONTINUATION, b"ll", fin=False)) is None
+        result = assembler.push(Frame(Opcode.CONTINUATION, b"o"))
+        assert result == (Opcode.TEXT, b"hello")
+
+    def test_continuation_without_start_rejected(self):
+        with pytest.raises(WebSocketError):
+            MessageAssembler().push(Frame(Opcode.CONTINUATION, b"x"))
+
+    def test_new_message_during_fragmentation_rejected(self):
+        assembler = MessageAssembler()
+        assembler.push(Frame(Opcode.TEXT, b"a", fin=False))
+        with pytest.raises(WebSocketError):
+            assembler.push(Frame(Opcode.TEXT, b"b"))
+
+    def test_control_frames_rejected(self):
+        with pytest.raises(WebSocketError):
+            MessageAssembler().push(Frame(Opcode.PING, b""))
+
+
+class TestHandshake:
+    def test_accept_key_rfc_example(self):
+        # The worked example from RFC 6455 §1.3.
+        assert accept_key("dGhlIHNhbXBsZSBub25jZQ==") == \
+            "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+
+    def test_request_response_roundtrip(self):
+        key = make_client_key(random.Random(0))
+        request = make_handshake_request("collector.example", "/beacon", key,
+                                         origin="http://pub.example/page")
+        headers = parse_handshake_request(request)
+        assert headers["path"] == "/beacon"
+        assert headers["sec-websocket-key"] == key
+        assert headers["host"] == "collector.example"
+        response = make_handshake_response(key)
+        assert b"101 Switching Protocols" in response
+        assert accept_key(key).encode() in response
+
+    def test_client_key_is_16_bytes_base64(self):
+        import base64
+        key = make_client_key(random.Random(1))
+        assert len(base64.b64decode(key)) == 16
+
+    @pytest.mark.parametrize("mutate", [
+        lambda text: text.replace("GET", "POST"),
+        lambda text: text.replace("Upgrade: websocket\r\n", ""),
+        lambda text: text.replace("Connection: Upgrade\r\n", ""),
+        lambda text: text.replace("Sec-WebSocket-Version: 13",
+                                  "Sec-WebSocket-Version: 8"),
+        lambda text: text.replace("Sec-WebSocket-Key", "X-Nope"),
+    ])
+    def test_rejects_broken_handshakes(self, mutate):
+        key = make_client_key(random.Random(2))
+        request = make_handshake_request("h", "/", key).decode("ascii")
+        with pytest.raises(WebSocketError):
+            parse_handshake_request(mutate(request).encode("ascii"))
+
+    def test_rejects_non_ascii(self):
+        with pytest.raises(WebSocketError):
+            parse_handshake_request("GET / HTTP/1.1\r\nHøst: x\r\n\r\n".encode("utf-8"))

@@ -1,0 +1,109 @@
+"""Property-based tests for auction and pacing invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adnetwork.auction import Auction
+from repro.adnetwork.campaign import CampaignSpec
+from repro.adnetwork.inventory import (
+    ExternalDemand,
+    ExternalDemandConfig,
+    make_request,
+)
+from repro.adnetwork.pacing import BudgetPacer
+from tests.adnetwork.conftest import END, START, make_pageview, make_publisher
+
+cpms = st.floats(min_value=0.001, max_value=1.0, allow_nan=False)
+floors = st.floats(min_value=0.0, max_value=0.5, allow_nan=False)
+premiums = st.floats(min_value=0.0, max_value=0.95, allow_nan=False)
+
+
+def campaigns_from(cpm_list):
+    return [CampaignSpec(campaign_id=f"c{i}", keywords=("Football",),
+                         cpm_eur=cpm, target_countries=("ES",),
+                         start_unix=START, end_unix=END)
+            for i, cpm in enumerate(cpm_list)]
+
+
+class TestAuctionProperties:
+    @given(st.lists(cpms, min_size=1, max_size=6), floors, premiums,
+           st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=150)
+    def test_auction_invariants(self, cpm_list, floor, premium, seed):
+        publisher = make_publisher(floor_cpm=round(floor, 4),
+                                   premium_demand=premium)
+        request = make_request(make_pageview(publisher))
+        candidates = campaigns_from(cpm_list)
+        auction = Auction(ExternalDemand(ExternalDemandConfig(
+            competition_by_country=(("ES", 1.0),))))
+        outcome = auction.run(request, candidates, random.Random(seed))
+        if outcome.winner is not None:
+            # The winner holds the top CPM among our candidates...
+            assert outcome.winner.cpm_eur == max(cpm_list)
+            # ...never pays more than its own bid...
+            assert outcome.clearing_cpm <= outcome.winner.cpm_eur + 1e-12
+            # ...and at least the floor.
+            assert outcome.clearing_cpm >= request.floor_cpm - 1e-12
+            # A winning bid always clears the floor.
+            assert outcome.winner.cpm_eur >= request.floor_cpm
+            # And beats whatever external bid showed up.
+            assert outcome.winner.cpm_eur > outcome.external_bid_cpm - 1e-12
+        else:
+            # We lost: either our best bid was under the floor, or an
+            # external bid at least matched it.
+            best = max(cpm_list)
+            assert best < request.floor_cpm or \
+                outcome.external_bid_cpm >= best
+
+    @given(st.lists(cpms, min_size=2, max_size=6), floors,
+           st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=100)
+    def test_second_price_without_external(self, cpm_list, floor, seed):
+        publisher = make_publisher(floor_cpm=round(floor, 4),
+                                   premium_demand=0.0)
+        request = make_request(make_pageview(publisher))
+        auction = Auction(ExternalDemand(ExternalDemandConfig(
+            competition_by_country=(("ES", 0.0),), default_competition=0.0)))
+        outcome = auction.run(request, campaigns_from(cpm_list),
+                              random.Random(seed))
+        ordered = sorted(cpm_list, reverse=True)
+        if ordered[0] >= request.floor_cpm:
+            assert outcome.winner is not None
+            # Clearing equals max(second bid, floor), capped by the winner.
+            expected = min(max(ordered[1], request.floor_cpm), ordered[0])
+            assert abs(outcome.clearing_cpm - expected) < 1e-9
+
+
+class TestPacingProperties:
+    @given(st.lists(st.floats(min_value=0.0001, max_value=0.01,
+                              allow_nan=False), min_size=1, max_size=60),
+           st.floats(min_value=0.01, max_value=1.0, allow_nan=False))
+    @settings(max_examples=80)
+    def test_spend_never_exceeds_budget_plus_last_item(self, spends, budget):
+        campaign = CampaignSpec(campaign_id="c", keywords=("Football",),
+                                cpm_eur=0.1, target_countries=("ES",),
+                                start_unix=START, end_unix=END,
+                                daily_budget_eur=budget)
+        pacer = BudgetPacer([campaign])
+        rng = random.Random(0)
+        moment = START
+        for amount in spends:
+            moment += 600.0
+            if pacer.may_bid(campaign, moment, rng):
+                pacer.record_spend(campaign, moment, amount)
+        # may_bid stops admitting before the budget is exceeded; at most
+        # one in-flight spend can overshoot.
+        assert pacer.spent_today(campaign, moment) <= budget + max(spends)
+
+    @given(st.floats(min_value=0.1, max_value=10.0, allow_nan=False))
+    @settings(max_examples=30)
+    def test_fresh_day_resets_spend(self, budget):
+        campaign = CampaignSpec(campaign_id="c", keywords=("Football",),
+                                cpm_eur=0.1, target_countries=("ES",),
+                                start_unix=START, end_unix=END,
+                                daily_budget_eur=budget)
+        pacer = BudgetPacer([campaign])
+        pacer.record_spend(campaign, START + 100.0, budget)
+        assert pacer.spent_today(campaign, START + 86_400.0 + 100.0) == 0.0

@@ -1,0 +1,86 @@
+"""Property-based tests for audit-analysis invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.audit.brand_safety import VennCounts
+from repro.audit.frequency import FrequencyAudit
+from repro.adnetwork.campaign import CampaignSpec
+from repro.audit.dataset import AuditDataset
+from repro.collector.store import ImpressionRecord, ImpressionStore
+from repro.taxonomy.lexicon import build_default_lexicon
+from repro.web.ranking import RankingService
+
+START, END = CampaignSpec.flight(2016, 4, 2, 4, 3)
+LEXICON = build_default_lexicon()
+
+users = st.sampled_from(["u1", "u2", "u3", "u4"])
+offsets = st.floats(min_value=0.0, max_value=86_000.0, allow_nan=False)
+
+
+def build_dataset(events):
+    store = ImpressionStore()
+    for user, offset in events:
+        store.insert(ImpressionRecord(
+            record_id=store.next_record_id(),
+            campaign_id="C",
+            creative_id="C-creative",
+            url="http://x.es/a",
+            user_agent="UA",
+            ip="",
+            ip_token=f"{user:0>16}",
+            timestamp=START + offset,
+            exposure_seconds=1.0,
+            is_datacenter=False,
+        ))
+    campaign = CampaignSpec(campaign_id="C", keywords=("Football",),
+                            cpm_eur=0.1, target_countries=("ES",),
+                            start_unix=START, end_unix=END)
+    return AuditDataset(store=store, campaigns={"C": campaign},
+                        vendor_reports={}, directory={},
+                        lexicon=LEXICON, ranking=RankingService([]))
+
+
+class TestFrequencyProperties:
+    @given(st.lists(st.tuples(users, offsets), min_size=1, max_size=50))
+    @settings(max_examples=60)
+    def test_points_partition_impressions(self, events):
+        dataset = build_dataset(events)
+        audit = FrequencyAudit(dataset)
+        points = audit.user_frequencies("C")
+        assert sum(point.impressions for point in points) == len(events)
+
+    @given(st.lists(st.tuples(users, offsets), min_size=1, max_size=50))
+    @settings(max_examples=60)
+    def test_suppression_monotone_in_cap(self, events):
+        audit = FrequencyAudit(build_dataset(events))
+        suppressed = [audit.would_suppress(cap, "C") for cap in (1, 2, 5, 10)]
+        assert all(a >= b for a, b in zip(suppressed, suppressed[1:]))
+        # Cap 1 keeps exactly one impression per user.
+        users_seen = len({user for user, _ in events})
+        assert suppressed[0] == len(events) - users_seen
+
+    @given(st.lists(st.tuples(users, offsets), min_size=2, max_size=50))
+    @settings(max_examples=60)
+    def test_interarrival_bounds(self, events):
+        audit = FrequencyAudit(build_dataset(events))
+        for point in audit.user_frequencies("C"):
+            if point.median_interarrival_seconds is None:
+                assert point.impressions == 1
+            else:
+                assert point.min_interarrival_seconds <= \
+                    point.median_interarrival_seconds + 1e-9
+                assert point.min_interarrival_seconds >= 0.0
+
+
+class TestVennProperties:
+    @given(st.sets(st.integers(0, 200)), st.sets(st.integers(0, 200)))
+    def test_counts_match_set_algebra(self, audit_set, vendor_set):
+        venn = VennCounts(audit_only=len(audit_set - vendor_set),
+                          both=len(audit_set & vendor_set),
+                          vendor_only=len(vendor_set - audit_set))
+        assert venn.audit_total == len(audit_set)
+        assert venn.vendor_total == len(vendor_set)
+        assert venn.union_total == len(audit_set | vendor_set)
+        if audit_set:
+            assert 0.0 <= venn.unreported_by_vendor.value <= 1.0

@@ -1,0 +1,74 @@
+"""Property-based tests for IPv4/CIDR arithmetic and the LPM trie."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.cidrtrie import CidrTrie
+from repro.net.ipv4 import Cidr, int_to_ip, ip_to_int
+
+addresses = st.integers(min_value=0, max_value=0xFFFFFFFF)
+prefixes = st.integers(min_value=0, max_value=32)
+
+
+def make_cidr(address: int, prefix: int) -> Cidr:
+    mask = (0xFFFFFFFF << (32 - prefix)) & 0xFFFFFFFF if prefix else 0
+    return Cidr(address & mask, prefix)
+
+
+class TestIpv4Properties:
+    @given(addresses)
+    def test_int_ip_roundtrip(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+    @given(addresses, prefixes)
+    def test_block_contains_its_bounds(self, address, prefix):
+        block = make_cidr(address, prefix)
+        assert block.contains_int(block.first)
+        assert block.contains_int(block.last)
+        assert block.last - block.first + 1 == block.size
+
+    @given(addresses, prefixes, addresses)
+    def test_membership_matches_mask_arithmetic(self, address, prefix, probe):
+        block = make_cidr(address, prefix)
+        expected = (probe & block.mask) == block.network
+        assert block.contains_int(probe) == expected
+
+
+class TestTrieProperties:
+    @given(st.lists(st.tuples(addresses, prefixes), min_size=1, max_size=30),
+           addresses)
+    @settings(max_examples=80)
+    def test_lookup_agrees_with_linear_scan(self, blocks, probe):
+        trie = CidrTrie()
+        table = []
+        for index, (address, prefix) in enumerate(blocks):
+            block = make_cidr(address, prefix)
+            trie.insert(block, index)
+            table.append((block, index))
+        probe_ip = int_to_ip(probe)
+        # Reference: the *last-inserted* longest matching prefix wins
+        # (later insert replaces an equal prefix).
+        best = None
+        for block, value in table:
+            if block.contains_int(probe):
+                if best is None or block.prefix >= best[0].prefix:
+                    best = (block, value)
+        result = trie.lookup(probe_ip)
+        if best is None:
+            assert result is None
+        else:
+            assert result == best[1]
+
+    @given(st.lists(st.tuples(addresses, prefixes), min_size=1, max_size=20))
+    @settings(max_examples=60)
+    def test_items_roundtrip(self, blocks):
+        trie = CidrTrie()
+        expected = {}
+        for index, (address, prefix) in enumerate(blocks):
+            block = make_cidr(address, prefix)
+            trie.insert(block, index)
+            expected[(block.network, block.prefix)] = index
+        found = {(cidr.network, cidr.prefix): value
+                 for cidr, value in trie.items()}
+        assert found == expected
+        assert len(trie) == len(expected)

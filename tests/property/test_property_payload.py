@@ -1,0 +1,53 @@
+"""Property-based tests for the beacon payload wire format."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.beacon.events import (
+    BeaconObservation,
+    InteractionEvent,
+    InteractionKind,
+)
+from repro.collector.payload import (
+    HelloMessage,
+    PayloadError,
+    encode_hello,
+    encode_interaction,
+    parse_message,
+)
+
+# Any printable text, including the protocol's own delimiters.
+wild_text = st.text(min_size=1, max_size=80).filter(lambda s: s.strip())
+
+
+class TestPayloadProperties:
+    @given(campaign=wild_text, creative=wild_text, url=wild_text,
+           user_agent=st.text(max_size=120))
+    def test_hello_roundtrip_any_text(self, campaign, creative, url,
+                                      user_agent):
+        observation = BeaconObservation(
+            campaign_id=campaign, creative_id=creative,
+            page_url=url, user_agent=user_agent,
+            interactions=(), exposure_seconds=1.0)
+        message = parse_message(encode_hello(observation))
+        assert isinstance(message, HelloMessage)
+        assert message.campaign_id == campaign
+        assert message.creative_id == creative
+        assert message.url == url
+        assert message.user_agent == user_agent
+
+    @given(offset=st.floats(min_value=0.0, max_value=86_400.0,
+                            allow_nan=False),
+           kind=st.sampled_from(list(InteractionKind)))
+    def test_interaction_roundtrip(self, offset, kind):
+        event = InteractionEvent(kind, offset)
+        message = parse_message(encode_interaction(event))
+        assert message.kind is kind
+        assert abs(message.offset_seconds - offset) < 0.001
+
+    @given(st.text(max_size=60))
+    def test_parser_never_crashes_on_garbage(self, garbage):
+        try:
+            parse_message(garbage)
+        except PayloadError:
+            pass   # rejecting is fine; any other exception is a bug

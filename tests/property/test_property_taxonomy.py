@@ -1,0 +1,76 @@
+"""Property-based tests for taxonomy structure and LCH similarity."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.taxonomy.lexicon import build_default_taxonomy
+from repro.taxonomy.similarity import lch_similarity, max_similarity_value
+
+TREE = build_default_taxonomy()
+NODES = sorted(TREE)
+node = st.sampled_from(NODES)
+
+
+class TestTreeProperties:
+    @given(node, node)
+    def test_path_length_symmetric(self, a, b):
+        assert TREE.path_length(a, b) == TREE.path_length(b, a)
+
+    @given(node)
+    def test_path_to_self_is_zero(self, a):
+        assert TREE.path_length(a, a) == 0
+
+    @given(node, node, node)
+    @settings(max_examples=200)
+    def test_triangle_inequality(self, a, b, c):
+        assert TREE.path_length(a, c) <= \
+            TREE.path_length(a, b) + TREE.path_length(b, c)
+
+    @given(node, node)
+    def test_lca_is_common_ancestor(self, a, b):
+        lca = TREE.lowest_common_ancestor(a, b)
+        assert lca in TREE.ancestors(a)
+        assert lca in TREE.ancestors(b)
+
+    @given(node)
+    def test_ancestors_end_at_root(self, a):
+        path = TREE.ancestors(a)
+        assert path[0] == a
+        assert path[-1] == TREE.root
+        assert len(path) == TREE.depth(a)
+
+    @given(node)
+    def test_depth_consistent_with_parent(self, a):
+        parent = TREE.parent(a)
+        if parent is None:
+            assert TREE.depth(a) == 1
+        else:
+            assert TREE.depth(a) == TREE.depth(parent) + 1
+
+
+class TestLchProperties:
+    @given(node, node)
+    def test_symmetry(self, a, b):
+        assert lch_similarity(TREE, a, b) == \
+            lch_similarity(TREE, b, a)
+
+    @given(node, node)
+    def test_self_similarity_is_maximal(self, a, b):
+        assert lch_similarity(TREE, a, b) <= \
+            lch_similarity(TREE, a, a) + 1e-12
+
+    @given(node, node)
+    def test_score_bounded_by_formula(self, a, b):
+        score = lch_similarity(TREE, a, b)
+        assert score <= max_similarity_value(TREE) + 1e-12
+        longest = 2 * TREE.max_depth - 1
+        assert score >= -math.log((longest + 1) / (2 * TREE.max_depth)) - 1e-12
+
+    @given(node)
+    def test_closer_on_own_ancestor_chain(self, a):
+        ancestors = TREE.ancestors(a)
+        if len(ancestors) >= 3:
+            near, far = ancestors[1], ancestors[2]
+            assert lch_similarity(TREE, a, near) > lch_similarity(TREE, a, far)

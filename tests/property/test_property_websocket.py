@@ -1,0 +1,84 @@
+"""Property-based tests for the WebSocket wire format."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.websocket import (
+    Frame,
+    FrameDecoder,
+    Opcode,
+    accept_key,
+    decode_frame,
+    encode_frame,
+)
+
+payloads = st.binary(min_size=0, max_size=300)
+data_opcodes = st.sampled_from([Opcode.TEXT, Opcode.BINARY])
+mask_keys = st.binary(min_size=4, max_size=4)
+
+
+class TestFrameProperties:
+    @given(payload=payloads, opcode=data_opcodes, fin=st.booleans())
+    def test_unmasked_roundtrip(self, payload, opcode, fin):
+        frame = Frame(opcode, payload, fin=fin)
+        decoded, consumed = decode_frame(encode_frame(frame))
+        assert decoded.payload == payload
+        assert decoded.opcode is opcode
+        assert decoded.fin == fin
+        assert consumed == len(encode_frame(frame))
+
+    @given(payload=payloads, mask_key=mask_keys)
+    def test_masked_roundtrip(self, payload, mask_key):
+        frame = Frame(Opcode.TEXT, payload, masked=True)
+        decoded, _ = decode_frame(encode_frame(frame, mask_key=mask_key))
+        assert decoded.payload == payload
+        assert decoded.masked
+
+    @given(payload=st.binary(min_size=1, max_size=300), mask_key=mask_keys)
+    def test_masking_is_involution(self, payload, mask_key):
+        from repro.net.websocket import _apply_mask
+
+        assert _apply_mask(_apply_mask(payload, mask_key), mask_key) == payload
+
+    @given(st.lists(st.tuples(payloads, data_opcodes), min_size=1,
+                    max_size=8),
+           st.integers(min_value=1, max_value=17))
+    @settings(max_examples=50)
+    def test_stream_reassembly_under_arbitrary_chunking(self, messages,
+                                                        chunk_size):
+        wire = b"".join(encode_frame(Frame(opcode, payload, masked=True),
+                                     rng=random.Random(7))
+                        for payload, opcode in messages)
+        decoder = FrameDecoder()
+        frames = []
+        for start in range(0, len(wire), chunk_size):
+            frames.extend(decoder.feed(wire[start:start + chunk_size]))
+        assert [frame.payload for frame in frames] == \
+            [payload for payload, _ in messages]
+        assert decoder.pending_bytes == 0
+
+    @given(payload=payloads)
+    def test_wire_length_is_minimal(self, payload):
+        wire = encode_frame(Frame(Opcode.BINARY, payload))
+        length = len(payload)
+        if length <= 125:
+            overhead = 2
+        elif length <= 0xFFFF:
+            overhead = 4
+        else:
+            overhead = 10
+        assert len(wire) == overhead + length
+
+
+class TestHandshakeProperties:
+    @given(st.text(alphabet=st.characters(min_codepoint=33,
+                                          max_codepoint=126),
+                   min_size=1, max_size=40))
+    def test_accept_key_is_deterministic_and_b64(self, client_key):
+        import base64
+
+        first = accept_key(client_key)
+        assert first == accept_key(client_key)
+        assert len(base64.b64decode(first)) == 20  # SHA-1 digest

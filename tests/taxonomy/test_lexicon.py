@@ -1,0 +1,72 @@
+"""Tests for repro.taxonomy.lexicon — the default ontology and keyword map."""
+
+import pytest
+
+from repro.taxonomy.lexicon import (
+    Lexicon,
+    build_default_lexicon,
+    build_default_taxonomy,
+)
+from repro.taxonomy.tree import TaxonomyTree
+
+
+class TestDefaultTaxonomy:
+    def test_contains_campaign_topics(self):
+        tree = build_default_taxonomy()
+        for node in ("research", "universities", "telematics", "football"):
+            assert node in tree
+
+    def test_contains_unsafe_verticals(self):
+        tree = build_default_taxonomy()
+        for node in ("adult", "gambling", "piracy"):
+            assert node in tree
+
+    def test_football_under_sports(self):
+        tree = build_default_taxonomy()
+        assert tree.parent("football") == "sports"
+
+    def test_size_is_ontology_scale(self):
+        assert len(build_default_taxonomy()) >= 80
+
+    def test_max_depth_supports_lch(self):
+        assert build_default_taxonomy().max_depth >= 4
+
+
+class TestLexicon:
+    def test_campaign_keywords_resolve(self):
+        lexicon = build_default_lexicon()
+        assert lexicon.topic_of("Research") == "research"
+        assert lexicon.topic_of("Universities") == "universities"
+        assert lexicon.topic_of("Telematics") == "telematics"
+        assert lexicon.topic_of("Football") == "football"
+
+    def test_normalisation_of_case_and_whitespace(self):
+        lexicon = build_default_lexicon()
+        assert lexicon.topic_of("  FOOTBALL ") == "football"
+        assert lexicon.topic_of("la  liga") == "la-liga"
+
+    def test_node_name_is_its_own_keyword(self):
+        lexicon = build_default_lexicon()
+        assert lexicon.topic_of("online-casino") == "online-casino"
+
+    def test_unknown_keyword_is_none(self):
+        assert build_default_lexicon().topic_of("xyzzy") is None
+
+    def test_topics_of_deduplicates_and_preserves_order(self):
+        lexicon = build_default_lexicon()
+        topics = lexicon.topics_of(["Football", "soccer", "Research"])
+        assert topics == ["football", "research"]
+
+    def test_topics_of_drops_unknown(self):
+        lexicon = build_default_lexicon()
+        assert lexicon.topics_of(["xyzzy", "Football"]) == ["football"]
+
+    def test_vocabulary_is_normalised_and_sorted(self):
+        vocabulary = build_default_lexicon().vocabulary()
+        assert vocabulary == sorted(vocabulary)
+        assert all(term == term.lower() for term in vocabulary)
+
+    def test_mapping_to_unknown_node_rejected(self):
+        tree = TaxonomyTree("entity")
+        with pytest.raises(KeyError):
+            Lexicon(tree, {"foo": "nonexistent"})

@@ -1,0 +1,83 @@
+"""Tests for repro.taxonomy.similarity — Leacock-Chodorow."""
+
+import math
+
+import pytest
+
+from repro.taxonomy.similarity import (
+    lch_similarity,
+    max_lch_similarity,
+    max_similarity_value,
+    similarity_threshold,
+)
+from repro.taxonomy.tree import TaxonomyTree
+
+
+@pytest.fixture
+def tree():
+    t = TaxonomyTree("entity")
+    t.add_path("sports", "football", "la-liga")
+    t.add_path("sports", "basketball")
+    t.add_path("science", "research")
+    return t
+
+
+class TestLch:
+    def test_identical_concepts_score_max(self, tree):
+        score = lch_similarity(tree, "football", "football")
+        assert score == pytest.approx(max_similarity_value(tree))
+        assert score == pytest.approx(-math.log(1.0 / (2 * tree.max_depth)))
+
+    def test_closer_concepts_score_higher(self, tree):
+        near = lch_similarity(tree, "football", "la-liga")
+        far = lch_similarity(tree, "football", "research")
+        assert near > far
+
+    def test_symmetry(self, tree):
+        assert lch_similarity(tree, "la-liga", "research") == \
+            pytest.approx(lch_similarity(tree, "research", "la-liga"))
+
+    def test_exact_formula(self, tree):
+        # football—basketball: 2 edges -> 3 nodes; D = 4.
+        expected = -math.log(3.0 / 8.0)
+        assert lch_similarity(tree, "football", "basketball") == \
+            pytest.approx(expected)
+
+    def test_root_to_leaf(self, tree):
+        expected = -math.log(4.0 / 8.0)   # 3 edges -> 4 nodes
+        assert lch_similarity(tree, "entity", "la-liga") == pytest.approx(expected)
+
+
+class TestMaxLch:
+    def test_best_pair_wins(self, tree):
+        score = max_lch_similarity(tree, ["research"],
+                                   ["la-liga", "science"])
+        assert score == pytest.approx(lch_similarity(tree, "research", "science"))
+
+    def test_empty_side_is_minus_inf(self, tree):
+        assert max_lch_similarity(tree, [], ["football"]) == float("-inf")
+        assert max_lch_similarity(tree, ["football"], []) == float("-inf")
+
+    def test_single_pair_equals_lch(self, tree):
+        assert max_lch_similarity(tree, ["football"], ["basketball"]) == \
+            pytest.approx(lch_similarity(tree, "football", "basketball"))
+
+
+class TestThreshold:
+    def test_threshold_separates_near_from_far(self, tree):
+        threshold = similarity_threshold(tree, max_path_edges=1)
+        assert lch_similarity(tree, "football", "la-liga") >= threshold
+        assert lch_similarity(tree, "football", "research") < threshold
+
+    def test_threshold_is_inclusive_at_exact_distance(self, tree):
+        threshold = similarity_threshold(tree, max_path_edges=2)
+        assert lch_similarity(tree, "football", "basketball") >= threshold
+
+    def test_zero_edges_only_identical(self, tree):
+        threshold = similarity_threshold(tree, max_path_edges=0)
+        assert lch_similarity(tree, "football", "football") >= threshold
+        assert lch_similarity(tree, "football", "sports") < threshold
+
+    def test_negative_edges_rejected(self, tree):
+        with pytest.raises(ValueError):
+            similarity_threshold(tree, max_path_edges=-1)

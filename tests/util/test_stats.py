@@ -1,0 +1,137 @@
+"""Tests for repro.util.stats."""
+
+import pytest
+
+from repro.util.stats import (
+    Fraction2,
+    bucket_index,
+    cumulative_fractions,
+    histogram,
+    log_buckets,
+    median,
+    percentile,
+)
+
+
+class TestMedian:
+    def test_odd_length(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_even_length_averages_middle(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_single_value(self):
+        assert median([7.0]) == 7.0
+
+    def test_does_not_mutate_input(self):
+        values = [3.0, 1.0, 2.0]
+        median(values)
+        assert values == [3.0, 1.0, 2.0]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            median([])
+
+
+class TestPercentile:
+    def test_p0_is_min_p100_is_max(self):
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 9.0
+
+    def test_p50_matches_median(self):
+        values = [1.0, 2.0, 3.0, 10.0]
+        assert percentile(values, 50) == median(values)
+
+    def test_interpolates_between_points(self):
+        assert percentile([0.0, 10.0], 25) == 2.5
+
+    def test_rejects_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestLogBuckets:
+    def test_default_edges_cover_alexa_range(self):
+        edges = log_buckets(10_000_000)
+        assert edges == [100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000]
+
+    def test_last_edge_covers_max_value(self):
+        edges = log_buckets(1_500_000)
+        assert edges[-1] >= 1_500_000
+
+    def test_small_max_gives_single_bucket(self):
+        assert log_buckets(50) == [100]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            log_buckets(0)
+        with pytest.raises(ValueError):
+            log_buckets(100, base=1)
+        with pytest.raises(ValueError):
+            log_buckets(100, first_edge=0)
+
+
+class TestBucketIndex:
+    def test_boundary_values_fall_in_lower_bucket(self):
+        edges = [100, 1000, 10000]
+        assert bucket_index(100, edges) == 0
+        assert bucket_index(101, edges) == 1
+        assert bucket_index(1000, edges) == 1
+
+    def test_values_beyond_last_edge_land_in_last_bucket(self):
+        assert bucket_index(999_999, [100, 1000]) == 1
+
+    def test_rejects_rank_below_one(self):
+        with pytest.raises(ValueError):
+            bucket_index(0, [100])
+
+
+class TestHistogram:
+    def test_counts_sum_to_input_size(self):
+        edges = [10, 100, 1000]
+        counts = histogram([1, 5, 50, 500, 5000], edges)
+        assert sum(counts) == 5
+
+    def test_bucket_placement(self):
+        counts = histogram([1, 2, 20, 200], [10, 100, 1000])
+        assert counts == [2, 1, 1]
+
+
+class TestCumulativeFractions:
+    def test_last_is_one(self):
+        assert cumulative_fractions([1, 2, 3])[-1] == pytest.approx(1.0)
+
+    def test_monotone_nondecreasing(self):
+        fractions = cumulative_fractions([5, 0, 3, 2])
+        assert all(a <= b for a, b in zip(fractions, fractions[1:]))
+
+    def test_all_zero_counts(self):
+        assert cumulative_fractions([0, 0]) == [0.0, 0.0]
+
+
+class TestFraction2:
+    def test_pct_and_str(self):
+        fraction = Fraction2(57, 100)
+        assert fraction.pct == pytest.approx(57.0)
+        assert str(fraction) == "57.00 %"
+
+    def test_zero_denominator_is_zero(self):
+        assert Fraction2(0, 0).value == 0.0
+
+    def test_rejects_numerator_above_denominator(self):
+        with pytest.raises(ValueError):
+            Fraction2(2, 1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Fraction2(-1, 1)
+
+    def test_equality_and_hash(self):
+        assert Fraction2(1, 2) == Fraction2(1, 2)
+        assert hash(Fraction2(1, 2)) == hash(Fraction2(1, 2))
+        assert Fraction2(1, 2) != Fraction2(2, 4)

@@ -1,0 +1,37 @@
+"""Shared fixtures for the web-ecosystem tests: a small deterministic world."""
+
+import pytest
+
+from repro.geo.providers import ProviderRegistry
+from repro.taxonomy.lexicon import build_default_lexicon
+from repro.util.rng import RngFactory
+from repro.web.population import PublisherUniverse, UniverseConfig
+from repro.web.users import PopulationConfig, UserPopulation
+
+
+@pytest.fixture(scope="module")
+def rngs():
+    return RngFactory(seed=99)
+
+
+@pytest.fixture(scope="module")
+def lexicon():
+    return build_default_lexicon()
+
+
+@pytest.fixture(scope="module")
+def universe(rngs, lexicon):
+    return PublisherUniverse(rngs.stream("pubs"),
+                             UniverseConfig(publisher_count=600),
+                             lexicon=lexicon)
+
+
+@pytest.fixture(scope="module")
+def registry(rngs):
+    return ProviderRegistry(rngs.stream("prov"))
+
+
+@pytest.fixture(scope="module")
+def population(rngs, registry, lexicon):
+    return UserPopulation(rngs.stream("users"), registry, lexicon.tree,
+                          config=PopulationConfig(users_per_country=150))

@@ -1,0 +1,153 @@
+"""Tests for repro.web.browsing."""
+
+import random
+
+import pytest
+
+from repro.web.bots import BotConfig, BotFleet
+from repro.web.browsing import BrowsingConfig, BrowsingSimulator, poisson
+
+DAY = 86_400.0
+START = 1_459_209_600.0  # 2016-03-29
+
+
+@pytest.fixture
+def simulator(universe, lexicon):
+    return BrowsingSimulator(universe, lexicon.tree)
+
+
+class TestPoisson:
+    def test_zero_lambda(self):
+        assert poisson(random.Random(0), 0.0) == 0
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            poisson(random.Random(0), -1.0)
+
+    def test_small_lambda_mean(self):
+        rng = random.Random(1)
+        draws = [poisson(rng, 5.0) for _ in range(3000)]
+        assert 4.7 < sum(draws) / len(draws) < 5.3
+
+    def test_large_lambda_uses_normal_approximation(self):
+        rng = random.Random(2)
+        draws = [poisson(rng, 500.0) for _ in range(500)]
+        mean = sum(draws) / len(draws)
+        assert 480 < mean < 520
+        assert all(draw >= 0 for draw in draws)
+
+
+class TestBrowsingConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            BrowsingConfig(pages_per_session_mean=0)
+        with pytest.raises(ValueError):
+            BrowsingConfig(think_time_min=5, think_time_max=2)
+        with pytest.raises(ValueError):
+            BrowsingConfig(favorite_revisit_prob=1.5)
+        with pytest.raises(ValueError):
+            BrowsingConfig(human_dwell_median=0)
+        with pytest.raises(ValueError):
+            BrowsingConfig(bot_burst_pages=0)
+
+
+class TestHumanStream:
+    def test_stream_is_time_ordered(self, simulator, population):
+        humans = population.in_country("ES")[:40]
+        stream = simulator.stream(humans, [], START, START + DAY,
+                                  random.Random(5))
+        timestamps = [view.timestamp for view in stream]
+        assert timestamps == sorted(timestamps)
+        assert timestamps, "expected pageviews"
+
+    def test_timestamps_within_window(self, simulator, population):
+        humans = population.in_country("ES")[:30]
+        for view in simulator.stream(humans, [], START, START + DAY,
+                                     random.Random(6)):
+            assert START <= view.timestamp <= START + DAY + 4 * 3600
+
+    def test_pageview_fields_are_consistent(self, simulator, population):
+        humans = population.in_country("ES")[:10]
+        for view in simulator.stream(humans, [], START, START + DAY,
+                                     random.Random(7)):
+            assert view.publisher.domain in view.url
+            assert not view.is_bot
+            assert view.dwell_seconds > 0
+            assert view.interests
+
+    def test_volume_tracks_daily_budget(self, simulator, population):
+        humans = population.in_country("ES")[:100]
+        expected = sum(device.daily_pageviews for device in humans)
+        count = sum(1 for _ in simulator.stream(humans, [], START,
+                                                START + DAY, random.Random(8)))
+        assert 0.6 * expected < count < 1.4 * expected
+
+    def test_deterministic_given_seed(self, simulator, population):
+        humans = population.in_country("ES")[:10]
+        first = [(v.timestamp, v.url) for v in simulator.stream(
+            humans, [], START, START + DAY, random.Random(9))]
+        second = [(v.timestamp, v.url) for v in simulator.stream(
+            humans, [], START, START + DAY, random.Random(9))]
+        assert first == second
+
+    def test_favorite_revisits_concentrate_browsing(self, universe, lexicon,
+                                                    population):
+        config = BrowsingConfig(favorite_revisit_prob=0.9, favorite_count=2)
+        simulator = BrowsingSimulator(universe, lexicon.tree, config)
+        heavy = max(population.devices, key=lambda d: d.daily_pageviews)
+        views = list(simulator.stream([heavy], [], START, START + DAY,
+                                      random.Random(10)))
+        if len(views) >= 20:
+            domains = [view.publisher.domain for view in views]
+            top_share = max(domains.count(d) for d in set(domains)) / len(domains)
+            assert top_share > 0.2
+
+    def test_empty_window_rejected(self, simulator):
+        with pytest.raises(ValueError):
+            simulator.stream([], [], START, START, random.Random(0))
+
+
+class TestBotStream:
+    @pytest.fixture
+    def bots(self, registry):
+        config = BotConfig(bots_per_fleet=10, fleet_count=1,
+                           daily_pageviews_min=50, daily_pageviews_max=80,
+                           target_profile=(("sports", 1.0),))
+        return BotFleet(random.Random(47), registry, config=config).bots
+
+    def test_bot_views_flagged_and_on_target(self, simulator, bots):
+        views = list(simulator.stream([], bots, START, START + DAY,
+                                      random.Random(11)))
+        assert views
+        sports_nodes = set(simulator.tree.subtree("sports"))
+        for view in views:
+            assert view.is_bot
+            assert view.visitor_id < 0
+            assert sports_nodes.intersection(view.publisher.topics)
+
+    def test_bot_bursts_have_short_gaps(self, simulator, bots):
+        views = list(simulator.stream([], [bots[0]], START, START + DAY,
+                                      random.Random(12)))
+        gaps = [b.timestamp - a.timestamp for a, b in zip(views, views[1:])]
+        short = sum(1 for gap in gaps if gap < 30)
+        assert short > len(gaps) * 0.4
+
+    def test_fleet_focus_limits_distinct_publishers(self, universe, lexicon,
+                                                    registry):
+        config = BotConfig(bots_per_fleet=15, fleet_count=1,
+                           daily_pageviews_min=60, daily_pageviews_max=90,
+                           target_profile=(("sports", 1.0),),
+                           fleet_focus_size=5)
+        bots = BotFleet(random.Random(53), registry, config=config).bots
+        simulator = BrowsingSimulator(universe, lexicon.tree)
+        views = list(simulator.stream([], bots, START, START + DAY,
+                                      random.Random(13)))
+        domains = {view.publisher.domain for view in views}
+        assert len(domains) <= 5
+
+    def test_mixed_stream_merges_in_time_order(self, simulator, population,
+                                               bots):
+        humans = population.in_country("ES")[:20]
+        timestamps = [view.timestamp for view in simulator.stream(
+            humans, bots, START, START + DAY, random.Random(14))]
+        assert timestamps == sorted(timestamps)
