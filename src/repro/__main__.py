@@ -19,7 +19,7 @@ import sys
 
 from repro.audit import full_audit
 from repro.experiments import figures, tables
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.parallel import ParallelExperimentRunner
 from repro.experiments.config import paper_experiment
 
 _TABLES = {
@@ -45,6 +45,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="world scale, 1.0 = paper scale (default 0.05)")
     parser.add_argument("--seed", type=int, default=2016,
                         help="master seed (default 2016)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the simulation (default 1; "
+                             "results are identical for any value)")
     parser.add_argument("--table", type=int, action="append", choices=[1, 2, 3, 4],
                         default=None, metavar="N",
                         help="print Table N (repeatable)")
@@ -63,10 +66,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.jobs < 1:
+        print("--jobs must be at least 1", file=sys.stderr)
+        return 2
     print(f"Running the 8-campaign study (seed={args.seed}, "
-          f"scale={args.scale}) ...", file=sys.stderr)
-    result = ExperimentRunner(
-        paper_experiment(seed=args.seed, scale=args.scale)).run()
+          f"scale={args.scale}, jobs={args.jobs}) ...", file=sys.stderr)
+    result = ParallelExperimentRunner(
+        paper_experiment(seed=args.seed, scale=args.scale),
+        jobs=args.jobs).run()
     print(f"pageviews={result.stats['pageviews']} "
           f"delivered={result.stats['delivered']} "
           f"logged={result.stats['logged']}", file=sys.stderr)

@@ -15,8 +15,19 @@ from repro.adnetwork.auction import Auction, AuctionOutcome
 from repro.adnetwork.pacing import BudgetPacer
 from repro.adnetwork.viewability import ExposureModel, Exposure
 from repro.adnetwork.server import AdServer, DeliveredImpression, NetworkPolicy
-from repro.adnetwork.reporting import VendorReporter, VendorReport, PlacementRow
-from repro.adnetwork.billing import BillingLedger, Charge, Refund
+from repro.adnetwork.reporting import (
+    VendorReporter,
+    VendorReport,
+    PlacementRow,
+    ReportAggregate,
+    merge_aggregates,
+)
+from repro.adnetwork.billing import (
+    BillingLedger,
+    CampaignBillingSummary,
+    Charge,
+    Refund,
+)
 from repro.adnetwork.conversions import (
     ConversionConfig,
     ConversionEvent,
@@ -41,7 +52,10 @@ __all__ = [
     "VendorReporter",
     "VendorReport",
     "PlacementRow",
+    "ReportAggregate",
+    "merge_aggregates",
     "BillingLedger",
+    "CampaignBillingSummary",
     "Charge",
     "Refund",
     "ConversionConfig",

@@ -30,6 +30,31 @@ class Charge:
 
 
 @dataclass(frozen=True)
+class CampaignBillingSummary:
+    """Per-campaign billing totals, the mergeable projection of a ledger.
+
+    Shard runners ship these across process boundaries instead of their
+    full charge lists; :meth:`BillingLedger.absorb_summary` folds them back
+    into a ledger as per-campaign lump entries (deterministically, in call
+    order), which keeps merged totals byte-identical between the serial
+    and the parallel experiment paths.
+    """
+
+    campaign_id: str
+    charged_eur: float
+    refunded_eur: float
+    refund_covered_impressions: int
+
+    def __post_init__(self) -> None:
+        if not self.campaign_id:
+            raise ValueError("campaign_id must be non-empty")
+        if self.charged_eur < 0 or self.refunded_eur < 0:
+            raise ValueError("billing totals must be non-negative")
+        if self.refund_covered_impressions < 0:
+            raise ValueError("refund_covered_impressions must be non-negative")
+
+
+@dataclass(frozen=True)
 class Refund:
     """An opaque lump-sum credit (no impression-level detail disclosed)."""
 
@@ -72,6 +97,45 @@ class BillingLedger:
     def net_total(self, campaign_id: str) -> float:
         """What the advertiser actually paid."""
         return self.charged_total(campaign_id) - self.refunded_total(campaign_id)
+
+    def summaries(self) -> dict[str, CampaignBillingSummary]:
+        """Per-campaign totals, keyed and ordered by sorted campaign id."""
+        charged: dict[str, float] = {}
+        for charge in self.charges:
+            charged[charge.campaign_id] = \
+                charged.get(charge.campaign_id, 0.0) + charge.amount_eur
+        refunded: dict[str, float] = {}
+        covered: dict[str, int] = {}
+        for refund in self.refunds:
+            refunded[refund.campaign_id] = \
+                refunded.get(refund.campaign_id, 0.0) + refund.amount_eur
+            covered[refund.campaign_id] = \
+                covered.get(refund.campaign_id, 0) + refund.covered_impressions
+        return {
+            campaign_id: CampaignBillingSummary(
+                campaign_id=campaign_id,
+                charged_eur=charged.get(campaign_id, 0.0),
+                refunded_eur=refunded.get(campaign_id, 0.0),
+                refund_covered_impressions=covered.get(campaign_id, 0))
+            for campaign_id in sorted(charged.keys() | refunded.keys())
+        }
+
+    def absorb_summary(self, summary: CampaignBillingSummary) -> None:
+        """Fold another ledger's per-campaign totals into this one.
+
+        The detail of the source ledger is collapsed into one lump charge
+        and one lump refund per campaign — all the advertiser-visible query
+        surface (``charged_total``/``refunded_total``/``net_total``) needs.
+        """
+        if summary.charged_eur > 0:
+            self.charges.append(Charge(
+                campaign_id=summary.campaign_id, impression_id=0,
+                amount_eur=summary.charged_eur, timestamp=0.0))
+        if summary.refunded_eur > 0 or summary.refund_covered_impressions > 0:
+            self.refunds.append(Refund(
+                campaign_id=summary.campaign_id,
+                amount_eur=summary.refunded_eur,
+                covered_impressions=summary.refund_covered_impressions))
 
     def apply_fraud_refunds(self, impressions: Iterable, rng: random.Random,
                             detection_rate: float = 0.5) -> list[Refund]:

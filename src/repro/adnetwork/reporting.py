@@ -46,6 +46,54 @@ class PlacementRow:
 
 
 @dataclass(frozen=True)
+class ReportAggregate:
+    """The mergeable counts behind one campaign's vendor report.
+
+    A shard runner computes one of these per campaign over its own slice
+    of delivered impressions; :func:`merge_aggregates` sums any number of
+    them, and :meth:`VendorReporter.build` projects the merged counts into
+    the :class:`VendorReport` the advertiser sees.  Integer counts merge
+    exactly, so the merged report is byte-identical however the delivery
+    stream was partitioned.
+    """
+
+    campaign_id: str
+    total_impressions: int
+    contextual_impressions: int
+    #: (placement name, impression count), sorted by placement name.
+    placement_counts: tuple[tuple[str, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.campaign_id:
+            raise ValueError("campaign_id must be non-empty")
+        if self.total_impressions < 0 or self.contextual_impressions < 0:
+            raise ValueError("impression counts must be non-negative")
+
+
+def merge_aggregates(aggregates: "list[ReportAggregate]",
+                     campaign_id: str) -> ReportAggregate:
+    """Sum per-shard aggregates for one campaign into a single aggregate."""
+    total = 0
+    contextual = 0
+    placements: dict[str, int] = {}
+    for aggregate in aggregates:
+        if aggregate.campaign_id != campaign_id:
+            raise ValueError(
+                f"cannot merge aggregate for {aggregate.campaign_id!r} "
+                f"into {campaign_id!r}")
+        total += aggregate.total_impressions
+        contextual += aggregate.contextual_impressions
+        for name, count in aggregate.placement_counts:
+            placements[name] = placements.get(name, 0) + count
+    return ReportAggregate(
+        campaign_id=campaign_id,
+        total_impressions=total,
+        contextual_impressions=contextual,
+        placement_counts=tuple(sorted(placements.items())),
+    )
+
+
+@dataclass(frozen=True)
 class VendorReport:
     """Everything the vendor console shows the advertiser for one campaign."""
 
@@ -83,11 +131,14 @@ class VendorReporter:
         #: vendor disclose every delivered placement.
         self.viewable_only_placements = viewable_only_placements
 
-    def report(self, campaign_id: str,
-               impressions: list[DeliveredImpression],
-               charged_eur: float = 0.0,
-               refunded_eur: float = 0.0) -> VendorReport:
-        """Build the console report for one campaign."""
+    def aggregate(self, campaign_id: str,
+                  impressions: list[DeliveredImpression]) -> ReportAggregate:
+        """Count one campaign's impressions into a mergeable aggregate.
+
+        Applies this reporter's placement-disclosure policy, so aggregates
+        from different shards merge into exactly the counts a single pass
+        over the concatenated impression list would have produced.
+        """
         for impression in impressions:
             if impression.campaign.campaign_id != campaign_id:
                 raise ValueError(
@@ -105,14 +156,36 @@ class VendorReporter:
             name = ANONYMOUS_PLACEMENT if publisher.is_anonymous \
                 else publisher.domain
             placement_counts[name] = placement_counts.get(name, 0) + 1
-        placements = tuple(PlacementRow(placement=name, impressions=count)
-                           for name, count in sorted(placement_counts.items()))
-        return VendorReport(
+        return ReportAggregate(
             campaign_id=campaign_id,
             total_impressions=len(impressions),
+            contextual_impressions=contextual_count,
+            placement_counts=tuple(sorted(placement_counts.items())),
+        )
+
+    @staticmethod
+    def build(aggregate: ReportAggregate,
+              charged_eur: float = 0.0,
+              refunded_eur: float = 0.0) -> VendorReport:
+        """Project an aggregate (possibly merged) into a console report."""
+        placements = tuple(PlacementRow(placement=name, impressions=count)
+                           for name, count in aggregate.placement_counts)
+        return VendorReport(
+            campaign_id=aggregate.campaign_id,
+            total_impressions=aggregate.total_impressions,
             placements=placements,
-            contextual=Fraction2(contextual_count, len(impressions))
-            if impressions else Fraction2(0, 0),
+            contextual=Fraction2(aggregate.contextual_impressions,
+                                 aggregate.total_impressions)
+            if aggregate.total_impressions else Fraction2(0, 0),
             charged_eur=charged_eur,
             refunded_eur=refunded_eur,
         )
+
+    def report(self, campaign_id: str,
+               impressions: list[DeliveredImpression],
+               charged_eur: float = 0.0,
+               refunded_eur: float = 0.0) -> VendorReport:
+        """Build the console report for one campaign."""
+        return self.build(self.aggregate(campaign_id, impressions),
+                          charged_eur=charged_eur,
+                          refunded_eur=refunded_eur)

@@ -16,7 +16,11 @@ from repro.collector.payload import (
     encode_interaction,
     parse_message,
 )
-from repro.collector.store import ImpressionRecord, ImpressionStore
+from repro.collector.store import (
+    ImpressionRecord,
+    ImpressionStore,
+    StoreSealedError,
+)
 from repro.collector.server import CollectorServer
 from repro.collector.enrich import Enricher
 
@@ -29,6 +33,7 @@ __all__ = [
     "parse_message",
     "ImpressionRecord",
     "ImpressionStore",
+    "StoreSealedError",
     "CollectorServer",
     "Enricher",
 ]

@@ -16,6 +16,10 @@ from typing import Callable, Iterator, Optional
 from repro.web.publisher import domain_of_url
 
 
+class StoreSealedError(RuntimeError):
+    """Raised on any attempt to mutate a sealed :class:`ImpressionStore`."""
+
+
 @dataclass(frozen=True)
 class ImpressionRecord:
     """One logged ad impression, as the collector stores it.
@@ -88,6 +92,7 @@ class ImpressionStore:
     def __init__(self) -> None:
         self._records: list[ImpressionRecord] = []
         self._next_id = 1
+        self._sealed = False
 
     def __len__(self) -> int:
         return len(self._records)
@@ -95,12 +100,34 @@ class ImpressionStore:
     def __iter__(self) -> Iterator[ImpressionRecord]:
         return iter(self._records)
 
+    @property
+    def sealed(self) -> bool:
+        """True once the store has been frozen against mutation."""
+        return self._sealed
+
+    def seal(self) -> "ImpressionStore":
+        """Freeze the store: any later insert/replace raises.
+
+        The experiment runner seals its dataset after enrichment so that a
+        memoised result shared between benchmarks cannot be contaminated by
+        one caller mutating it.  Returns self for chaining.
+        """
+        self._sealed = True
+        return self
+
+    def _check_mutable(self) -> None:
+        if self._sealed:
+            raise StoreSealedError(
+                "store is sealed; experiment datasets are immutable once "
+                "enriched (copy the records into a fresh store to modify)")
+
     def next_record_id(self) -> int:
         """Allocate the id for the next inserted record."""
         return self._next_id
 
     def insert(self, record: ImpressionRecord) -> None:
         """Append one record (ids must be allocated via next_record_id)."""
+        self._check_mutable()
         if record.record_id != self._next_id:
             raise ValueError(
                 f"expected record_id {self._next_id}, got {record.record_id}")
@@ -109,7 +136,22 @@ class ImpressionStore:
 
     def replace_at(self, index: int, record: ImpressionRecord) -> None:
         """Overwrite a record in place (enrichment uses this)."""
+        self._check_mutable()
         self._records[index] = record
+
+    def extend_reindexed(self, records: "Iterator[ImpressionRecord] | list[ImpressionRecord]") -> int:
+        """Append copies of *records* under freshly allocated ids.
+
+        The shard merge uses this: per-shard stores all number their
+        records from 1, so absorbing them into one dataset requires
+        re-identification.  Records are appended in iteration order;
+        returns the number of records added.
+        """
+        added = 0
+        for record in records:
+            self.insert(replace(record, record_id=self._next_id))
+            added += 1
+        return added
 
     # ------------------------------------------------------------------ #
     # queries
@@ -152,30 +194,51 @@ class ImpressionStore:
     # persistence
     # ------------------------------------------------------------------ #
 
+    def dumps_jsonl(self) -> str:
+        """Serialise every record as one JSON object per line."""
+        lines = [json.dumps(asdict(record), sort_keys=True)
+                 for record in self._records]
+        return "".join(line + "\n" for line in lines)
+
     def dump_jsonl(self, path: str | Path) -> int:
         """Write every record as one JSON object per line; returns count."""
-        path = Path(path)
-        with path.open("w", encoding="utf-8") as handle:
-            for record in self._records:
-                handle.write(json.dumps(asdict(record), sort_keys=True))
-                handle.write("\n")
+        Path(path).write_text(self.dumps_jsonl(), encoding="utf-8")
         return len(self._records)
 
     @classmethod
-    def load_jsonl(cls, path: str | Path) -> "ImpressionStore":
-        """Rebuild a store from :meth:`dump_jsonl` output."""
+    def loads_jsonl(cls, text: str,
+                    source: str = "<string>") -> "ImpressionStore":
+        """Rebuild a store from :meth:`dumps_jsonl` output.
+
+        Record ids are required to be strictly increasing, not contiguous:
+        a dump produced by filtering or merging stores (record ids with
+        gaps, first id > 1) reloads cleanly, and the store keeps allocating
+        fresh ids from ``max_id + 1``.
+        """
         store = cls()
-        path = Path(path)
-        with path.open("r", encoding="utf-8") as handle:
-            for line_number, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    data = json.loads(line)
-                    record = ImpressionRecord(**data)
-                except (json.JSONDecodeError, TypeError, ValueError) as exc:
-                    raise ValueError(
-                        f"{path}:{line_number}: bad record: {exc}") from exc
-                store.insert(record)
+        last_id = 0
+        for line_number, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+                record = ImpressionRecord(**data)
+            except (json.JSONDecodeError, TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"{source}:{line_number}: bad record: {exc}") from exc
+            if record.record_id <= last_id:
+                raise ValueError(
+                    f"{source}:{line_number}: record ids must be strictly "
+                    f"increasing ({record.record_id} after {last_id})")
+            store._records.append(record)
+            last_id = record.record_id
+        store._next_id = last_id + 1
         return store
+
+    @classmethod
+    def load_jsonl(cls, path: str | Path) -> "ImpressionStore":
+        """Rebuild a store from :meth:`dump_jsonl` output (see loads_jsonl)."""
+        path = Path(path)
+        return cls.loads_jsonl(path.read_text(encoding="utf-8"),
+                               source=str(path))

@@ -14,7 +14,22 @@ from repro.experiments.config import (
     PeriodPlan,
     paper_experiment,
 )
-from repro.experiments.runner import ExperimentRunner, ExperimentResult, run_paper_experiment
+from repro.experiments.runner import (
+    ExperimentRunner,
+    ExperimentResult,
+    ShardOutput,
+    ShardSpec,
+    World,
+    build_world,
+    merge_shard_outputs,
+    plan_shards,
+    run_paper_experiment,
+    run_shard,
+)
+from repro.experiments.parallel import (
+    ParallelExperimentRunner,
+    run_paper_experiment_parallel,
+)
 from repro.experiments import tables, figures
 
 __all__ = [
@@ -24,6 +39,15 @@ __all__ = [
     "paper_experiment",
     "ExperimentRunner",
     "ExperimentResult",
+    "ShardOutput",
+    "ShardSpec",
+    "World",
+    "build_world",
+    "merge_shard_outputs",
+    "plan_shards",
+    "run_shard",
+    "ParallelExperimentRunner",
+    "run_paper_experiment_parallel",
     "run_paper_experiment",
     "tables",
     "figures",

@@ -68,10 +68,18 @@ class ExperimentConfig:
     script_blocking_fraction: float = 0.15
     campaigns: tuple[CampaignPlan, ...] = ()
     periods: tuple[PeriodPlan, ...] = ()
+    #: Fixed number of population sub-shards per (period, country).  Part
+    #: of the experiment's identity, NOT a parallelism knob: the shard plan
+    #: (and therefore every RNG stream) depends on it, so results are a
+    #: function of (seed, scale, shard_slices) and independent of how many
+    #: worker processes execute the shards.
+    shard_slices: int = 4
 
     def __post_init__(self) -> None:
         if not 0.0 < self.scale <= 4.0:
             raise ValueError("scale must be within (0, 4]")
+        if self.shard_slices < 1:
+            raise ValueError("shard_slices must be at least 1")
         if self.publisher_count < 50:
             raise ValueError("publisher_count too small to be meaningful")
         if not 0.0 <= self.script_blocking_fraction <= 1.0:

@@ -5,17 +5,34 @@ browsing → ad server → beacon script → WebSocket client → collector —
 then applies the vendor's post-hoc fraud refunds, produces the vendor
 reports, enriches + anonymises the collected dataset and assembles the
 :class:`~repro.audit.dataset.AuditDataset` the audits consume.
+
+Execution is structured as a *shard pipeline*: the experiment is split
+into independent shards — one per (flight period, country, population
+slice) — each simulated with its own scoped RNG streams, ad server and
+collector, and the per-shard outputs are merged deterministically into
+one :class:`ExperimentResult`.  The serial runner executes the shards
+in-process, one after another; the parallel runner
+(:mod:`repro.experiments.parallel`) farms the very same shards out to
+worker processes.  Because both paths run identical shard code and merge
+in identical canonical order, their outputs are byte-for-byte equal at
+the same seed — the determinism contract the equivalence tests enforce.
 """
 
 from __future__ import annotations
 
 import functools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
+from repro.adnetwork.billing import CampaignBillingSummary
 from repro.adnetwork.conversions import ConversionEvent, ConversionSimulator
 from repro.adnetwork.inventory import ExternalDemand
 from repro.adnetwork.matching import MatchEngine
-from repro.adnetwork.reporting import VendorReport, VendorReporter
+from repro.adnetwork.reporting import (
+    ReportAggregate,
+    VendorReport,
+    VendorReporter,
+    merge_aggregates,
+)
 from repro.adnetwork.server import AdServer, NetworkPolicy
 from repro.audit.dataset import AuditDataset
 from repro.beacon.client import BeaconClient
@@ -23,19 +40,25 @@ from repro.beacon.script import BeaconScript
 from repro.collector.enrich import Enricher
 from repro.collector.server import CollectorServer
 from repro.collector.store import ImpressionStore
-from repro.experiments.config import ExperimentConfig, paper_experiment
+from repro.experiments.config import (
+    ExperimentConfig,
+    PeriodPlan,
+    paper_experiment,
+)
 from repro.geo.denylist import DenyList
 from repro.geo.ipdb import GeoIpDatabase
 from repro.geo.providers import ProviderRegistry
 from repro.geo.resolver import DataCenterResolver
 from repro.net.transport import SimulatedNetwork
-from repro.taxonomy.lexicon import build_default_lexicon
+from repro.taxonomy.lexicon import Lexicon, build_default_lexicon
 from repro.util.rng import RngFactory
 from repro.util.simclock import SimClock
 from repro.web.bots import BotFleet
 from repro.web.browsing import BrowsingSimulator
 from repro.web.population import PublisherUniverse, UniverseConfig
 from repro.web.users import PopulationConfig, UserPopulation
+
+_SECONDS_PER_DAY = 86_400.0
 
 
 @dataclass
@@ -64,8 +87,421 @@ class ExperimentResult:
         return len(self.dataset.records(campaign_id))
 
 
+# ---------------------------------------------------------------------- #
+# the shared world
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class World:
+    """The config-deterministic environment every shard simulates in.
+
+    Publishers, providers, the human population and the IP intelligence
+    stack are functions of (seed, scale, sizing knobs) alone, so one
+    world instance is shared by every shard — in the parallel runner it
+    is built once per worker process (and inherited copy-on-write on
+    platforms that fork).
+    """
+
+    lexicon: Lexicon
+    universe: PublisherUniverse
+    registry: ProviderRegistry
+    population: UserPopulation
+    ipdb: GeoIpDatabase
+    resolver: DataCenterResolver
+
+    @property
+    def tree(self):
+        return self.lexicon.tree
+
+
+def build_world(config: ExperimentConfig) -> World:
+    """Build the shared world for *config* (deterministic in its seed)."""
+    rngs = RngFactory(config.seed)
+    lexicon = build_default_lexicon()
+    universe = PublisherUniverse(
+        rngs.stream("publishers"),
+        UniverseConfig(
+            publisher_count=config.scaled_publisher_count,
+            script_blocking_fraction=config.script_blocking_fraction),
+        lexicon=lexicon)
+    registry = ProviderRegistry(rngs.stream("providers"))
+    population = UserPopulation(
+        rngs.stream("users"), registry, lexicon.tree,
+        config=PopulationConfig(
+            users_per_country=config.scaled_users_per_country))
+    ipdb = GeoIpDatabase(registry)
+    denylist = DenyList.from_registry(registry)
+    resolver = DataCenterResolver(ipdb, denylist)
+    return World(lexicon=lexicon, universe=universe, registry=registry,
+                 population=population, ipdb=ipdb, resolver=resolver)
+
+
+# ---------------------------------------------------------------------- #
+# shard planning
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One independent unit of simulation work.
+
+    A shard covers one flight period, one country, and one of the
+    config's ``shard_slices`` population slices (humans and bots are
+    partitioned by their position in the deterministic population order,
+    position ``i`` landing in slice ``i % slice_count``).  The shard plan
+    is a pure function of the config — never of the worker count — so
+    results cannot depend on how the shards are scheduled.
+    """
+
+    period_name: str
+    country: str
+    slice_index: int
+    slice_count: int
+    start_unix: float
+    end_unix: float
+    #: Rough simulated-pageview cost estimate; scheduling hint only.
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.slice_index < self.slice_count:
+            raise ValueError("slice_index must be within [0, slice_count)")
+        if self.end_unix <= self.start_unix:
+            raise ValueError("shard window must have positive duration")
+
+    @property
+    def scope(self) -> str:
+        """The RNG-stream scope suffix identifying this shard."""
+        return f"{self.period_name}/{self.country}/{self.slice_index}"
+
+
+def _period_countries(period: PeriodPlan) -> list[str]:
+    """Active countries of a period, deduplicated in declaration order.
+
+    Fleet-only countries (a bot operator active where no humans are
+    declared) are appended so their traffic is never dropped.
+    """
+    countries = list(dict.fromkeys(period.countries))
+    for country, _ in period.fleets:
+        if country not in countries:
+            countries.append(country)
+    return countries
+
+
+def _shard_weight(config: ExperimentConfig, period: PeriodPlan,
+                  country: str) -> float:
+    """Expected pageviews of one (period, country) before slicing."""
+    days = (period.end_unix - period.start_unix) / _SECONDS_PER_DAY
+    human_views = config.scaled_users_per_country * 18.0
+    bot_views = 0.0
+    for fleet_country, bot_config in period.fleets:
+        if fleet_country != country:
+            continue
+        bots = bot_config.bots_per_fleet * bot_config.fleet_count
+        bot_views += bots * (bot_config.daily_pageviews_min
+                             + bot_config.daily_pageviews_max) / 2.0
+    return days * (human_views + bot_views)
+
+
+def plan_shards(config: ExperimentConfig) -> list[ShardSpec]:
+    """The canonical shard plan: every merge consumes shards in this order."""
+    shards: list[ShardSpec] = []
+    for period in sorted(config.periods, key=lambda p: (p.start_unix, p.name)):
+        for country in _period_countries(period):
+            weight = _shard_weight(config, period, country)
+            for slice_index in range(config.shard_slices):
+                shards.append(ShardSpec(
+                    period_name=period.name,
+                    country=country,
+                    slice_index=slice_index,
+                    slice_count=config.shard_slices,
+                    start_unix=period.start_unix,
+                    end_unix=period.end_unix,
+                    weight=weight / config.shard_slices,
+                ))
+    return shards
+
+
+def _period_by_name(config: ExperimentConfig, name: str) -> PeriodPlan:
+    for period in config.periods:
+        if period.name == name:
+            return period
+    raise KeyError(f"unknown period: {name!r}")
+
+
+def _budget_divisor(config: ExperimentConfig, spec) -> int:
+    """How many shards a campaign's daily budget is split across.
+
+    Pacing is budget-proportional, so giving each shard ``budget / N``
+    preserves a campaign's total delivery when its traffic is spread over
+    N concurrent shards: the slice count times the largest number of
+    targeted countries simultaneously active in any overlapping period.
+    """
+    concurrent = 1
+    for period in config.periods:
+        if period.end_unix <= spec.start_unix \
+                or period.start_unix >= spec.end_unix:
+            continue
+        targeted = sum(1 for country in _period_countries(period)
+                       if spec.targets_country(country))
+        concurrent = max(concurrent, targeted)
+    return concurrent * config.shard_slices
+
+
+# ---------------------------------------------------------------------- #
+# shard execution
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class ShardOutput:
+    """Everything a shard contributes to the merged experiment.
+
+    Designed to cross a process boundary: the impression store travels
+    as its (lossless) JSONL serialisation, billing and vendor-report
+    state as per-campaign summaries, and everything else as picklable
+    frozen dataclasses or plain counters.
+    """
+
+    shard: ShardSpec
+    store_jsonl: str
+    impressions: list
+    conversions: list[ConversionEvent]
+    billing: dict[str, CampaignBillingSummary]
+    report_aggregates: dict[str, ReportAggregate]
+    pageviews: int
+    prefiltered: int
+    script_blocked_publisher: int
+    script_blocked_browser: int
+    connect_failures: int
+    clicks: int
+    conversion_count: int
+    handshake_failures: int
+    malformed_messages: int
+    connections_without_hello: int
+    records_committed: int
+
+
+def run_shard(config: ExperimentConfig, shard: ShardSpec,
+              world: World) -> ShardOutput:
+    """Simulate one shard end to end.
+
+    Every stochastic component draws from streams scoped to the shard
+    (``{kind}/{period}/{country}/{slice}``), so a shard's output depends
+    only on (config, shard) — never on which other shards ran, in what
+    order, or in which process.  The one deliberately *unscoped* stream
+    is the bot-fleet builder: every slice of a (period, country) rebuilds
+    the identical fleet roster from ``bots/{period}/{country}`` and then
+    keeps only its own slice of the bots, mirroring how humans are
+    partitioned out of the shared population.
+    """
+    rngs = RngFactory(config.seed)
+    scope = shard.scope
+    period = _period_by_name(config, shard.period_name)
+
+    campaigns = [replace(plan.spec,
+                         daily_budget_eur=plan.spec.daily_budget_eur
+                         / _budget_divisor(config, plan.spec))
+                 for plan in config.campaigns]
+    server = AdServer(campaigns, MatchEngine(world.lexicon),
+                      ExternalDemand(), world.ipdb, policy=NetworkPolicy())
+
+    clock = SimClock(shard.start_unix)
+    network = SimulatedNetwork(clock, rngs.stream(f"network/{scope}"))
+    store = ImpressionStore()
+    collector = CollectorServer(store)
+    collector.attach(network)
+    beacon_client = BeaconClient(network, collector, clock,
+                                 rngs.stream(f"beacon-net/{scope}"))
+    script = BeaconScript()
+    browsing = BrowsingSimulator(world.universe, world.tree)
+
+    serve_rng = rngs.stream(f"serving/{scope}")
+    script_rng = rngs.stream(f"script/{scope}")
+    conversion_sim = ConversionSimulator()
+    conversion_rng = rngs.stream(f"conversions/{scope}")
+
+    fleet_bots = []
+    for fleet_country, bot_config in period.fleets:
+        if fleet_country != shard.country:
+            continue
+        fleet = BotFleet(rngs.stream(f"bots/{shard.period_name}/{shard.country}"),
+                         world.registry, countries=(shard.country,),
+                         config=bot_config)
+        fleet_bots.extend(fleet.bots)
+    bots = [bot for index, bot in enumerate(fleet_bots)
+            if index % shard.slice_count == shard.slice_index]
+    humans = [device for index, device
+              in enumerate(world.population.in_country(shard.country))
+              if index % shard.slice_count == shard.slice_index]
+
+    conversions: list[ConversionEvent] = []
+    pageview_count = 0
+    stream = browsing.stream(humans, bots, shard.start_unix, shard.end_unix,
+                             rngs.stream(f"browse/{scope}"))
+    for pageview in stream:
+        pageview_count += 1
+        impression = server.serve(pageview, serve_rng)
+        if impression is None:
+            continue
+        observation = script.observe(impression, script_rng)
+        if observation is None:
+            continue
+        beacon_client.deliver(impression, observation)
+        conversion = conversion_sim.simulate(
+            impression, observation.clicks, conversion_rng)
+        if conversion is not None:
+            conversions.append(conversion)
+
+    # Post-flight: the vendor's silent fraud clawback on this shard's
+    # deliveries, then the mergeable billing/report projections.
+    server.billing.apply_fraud_refunds(server.impressions,
+                                       rngs.stream(f"refunds/{scope}"))
+    reporter = VendorReporter()
+    aggregates = {
+        plan.spec.campaign_id: reporter.aggregate(
+            plan.spec.campaign_id,
+            server.impressions_for(plan.spec.campaign_id))
+        for plan in config.campaigns
+    }
+    return ShardOutput(
+        shard=shard,
+        store_jsonl=store.dumps_jsonl(),
+        impressions=list(server.impressions),
+        conversions=conversions,
+        billing=server.billing.summaries(),
+        report_aggregates=aggregates,
+        pageviews=pageview_count,
+        prefiltered=server.prefiltered_pageviews,
+        script_blocked_publisher=script.blocked_by_publisher,
+        script_blocked_browser=script.blocked_by_browser,
+        connect_failures=network.failed_connects,
+        clicks=conversion_sim.clicks_seen,
+        conversion_count=conversion_sim.conversions,
+        handshake_failures=collector.handshake_failures,
+        malformed_messages=collector.malformed_messages,
+        connections_without_hello=collector.connections_without_hello,
+        records_committed=collector.records_committed,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# deterministic merge
+# ---------------------------------------------------------------------- #
+
+
+def merge_shard_outputs(config: ExperimentConfig, world: World,
+                        outputs: list[ShardOutput]) -> ExperimentResult:
+    """Fold per-shard outputs (in canonical plan order) into one result.
+
+    All order-sensitive reductions — record re-identification, impression
+    re-numbering, float sums of charges/refunds, conversion concatenation
+    — walk *outputs* in the order :func:`plan_shards` produced, so the
+    merged result is independent of how (or where) the shards executed.
+    """
+    campaigns = [plan.spec for plan in config.campaigns]
+    by_id = {spec.campaign_id: spec for spec in campaigns}
+
+    server = AdServer(campaigns, MatchEngine(world.lexicon),
+                      ExternalDemand(), world.ipdb, policy=NetworkPolicy())
+    next_impression_id = 1
+    for output in outputs:
+        for impression in output.impressions:
+            # Re-id globally and point back at the advertiser's original
+            # spec (shards ran against budget-scaled copies).
+            server.impressions.append(replace(
+                impression,
+                impression_id=next_impression_id,
+                campaign=by_id[impression.campaign.campaign_id]))
+            next_impression_id += 1
+    server._next_impression_id = next_impression_id
+    server.prefiltered_pageviews = sum(output.prefiltered
+                                       for output in outputs)
+    for output in outputs:
+        for summary in output.billing.values():
+            server.billing.absorb_summary(summary)
+
+    reporter = VendorReporter()
+    vendor_reports: dict[str, VendorReport] = {}
+    for spec in campaigns:
+        campaign_id = spec.campaign_id
+        merged = merge_aggregates(
+            [output.report_aggregates[campaign_id] for output in outputs],
+            campaign_id)
+        vendor_reports[campaign_id] = reporter.build(
+            merged,
+            charged_eur=server.billing.charged_total(campaign_id),
+            refunded_eur=server.billing.refunded_total(campaign_id))
+
+    store = ImpressionStore()
+    for output in outputs:
+        store.extend_reindexed(
+            ImpressionStore.loads_jsonl(output.store_jsonl,
+                                        source=f"shard:{output.shard.scope}"))
+
+    enricher = Enricher(world.ipdb, world.resolver, world.universe.ranking)
+    enricher.enrich_store(store)
+    conversions = [event.anonymized(enricher.salt)
+                   for output in outputs for event in output.conversions]
+    # The dataset is shared by every memoised consumer from here on.
+    store.seal()
+
+    first_start = min(period.start_unix for period in config.periods) \
+        if config.periods else 0.0
+    rngs = RngFactory(config.seed)
+    network = SimulatedNetwork(SimClock(first_start), rngs.stream("network"))
+    network.failed_connects = sum(output.connect_failures
+                                  for output in outputs)
+    collector = CollectorServer(store)
+    collector.attach(network)
+    collector.handshake_failures = sum(output.handshake_failures
+                                       for output in outputs)
+    collector.malformed_messages = sum(output.malformed_messages
+                                       for output in outputs)
+    collector.connections_without_hello = sum(
+        output.connections_without_hello for output in outputs)
+    collector.records_committed = sum(output.records_committed
+                                      for output in outputs)
+
+    pageview_count = sum(output.pageviews for output in outputs)
+    dataset = AuditDataset(
+        store=store,
+        campaigns={spec.campaign_id: spec for spec in campaigns},
+        vendor_reports=vendor_reports,
+        directory={publisher.domain: publisher
+                   for publisher in world.universe.publishers},
+        lexicon=world.lexicon,
+        ranking=world.universe.ranking,
+    )
+    return ExperimentResult(
+        config=config,
+        dataset=dataset,
+        server=server,
+        universe=world.universe,
+        registry=world.registry,
+        collector=collector,
+        network=network,
+        pageview_count=pageview_count,
+        conversions=conversions,
+        stats={
+            "pageviews": pageview_count,
+            "delivered": len(server.impressions),
+            "logged": len(store),
+            "prefiltered": server.prefiltered_pageviews,
+            "script_blocked_publisher": sum(output.script_blocked_publisher
+                                            for output in outputs),
+            "script_blocked_browser": sum(output.script_blocked_browser
+                                          for output in outputs),
+            "connect_failures": network.failed_connects,
+            "clicks": sum(output.clicks for output in outputs),
+            "conversions": sum(output.conversion_count
+                               for output in outputs),
+        },
+    )
+
+
 class ExperimentRunner:
-    """Executes one :class:`ExperimentConfig`."""
+    """Executes one :class:`ExperimentConfig` in-process."""
 
     def __init__(self, config: ExperimentConfig) -> None:
         self.config = config
@@ -73,123 +509,10 @@ class ExperimentRunner:
     def run(self) -> ExperimentResult:
         """Run the whole experiment; deterministic in the config's seed."""
         config = self.config
-        rngs = RngFactory(config.seed)
-        lexicon = build_default_lexicon()
-        tree = lexicon.tree
-
-        universe = PublisherUniverse(
-            rngs.stream("publishers"),
-            UniverseConfig(
-                publisher_count=config.scaled_publisher_count,
-                script_blocking_fraction=config.script_blocking_fraction),
-            lexicon=lexicon)
-        registry = ProviderRegistry(rngs.stream("providers"))
-        population = UserPopulation(
-            rngs.stream("users"), registry, tree,
-            config=PopulationConfig(
-                users_per_country=config.scaled_users_per_country))
-        ipdb = GeoIpDatabase(registry)
-        denylist = DenyList.from_registry(registry)
-        resolver = DataCenterResolver(ipdb, denylist)
-
-        campaigns = [plan.spec for plan in config.campaigns]
-        server = AdServer(campaigns, MatchEngine(lexicon), ExternalDemand(),
-                          ipdb, policy=NetworkPolicy())
-
-        first_start = min(period.start_unix for period in config.periods) \
-            if config.periods else 0.0
-        clock = SimClock(first_start)
-        network = SimulatedNetwork(clock, rngs.stream("network"))
-        store = ImpressionStore()
-        collector = CollectorServer(store)
-        collector.attach(network)
-        beacon_client = BeaconClient(network, collector, clock,
-                                     rngs.stream("beacon-net"))
-        script = BeaconScript()
-        browsing = BrowsingSimulator(universe, tree)
-
-        serve_rng = rngs.stream("serving")
-        script_rng = rngs.stream("script")
-        conversion_sim = ConversionSimulator()
-        conversion_rng = rngs.stream("conversions")
-        conversions: list[ConversionEvent] = []
-        pageview_count = 0
-        for period in sorted(config.periods, key=lambda p: p.start_unix):
-            bots = []
-            for country, bot_config in period.fleets:
-                fleet = BotFleet(rngs.stream(f"bots/{period.name}/{country}"),
-                                 registry, countries=(country,),
-                                 config=bot_config)
-                bots.extend(fleet.bots)
-            humans = []
-            for country in period.countries:
-                humans.extend(population.in_country(country))
-            stream = browsing.stream(humans, bots, period.start_unix,
-                                     period.end_unix,
-                                     rngs.stream(f"browse/{period.name}"))
-            for pageview in stream:
-                pageview_count += 1
-                impression = server.serve(pageview, serve_rng)
-                if impression is None:
-                    continue
-                observation = script.observe(impression, script_rng)
-                if observation is None:
-                    continue
-                beacon_client.deliver(impression, observation)
-                conversion = conversion_sim.simulate(
-                    impression, observation.clicks, conversion_rng)
-                if conversion is not None:
-                    conversions.append(conversion)
-
-        # Post-flight: the vendor's silent fraud clawback, then reports.
-        server.billing.apply_fraud_refunds(server.impressions,
-                                           rngs.stream("refunds"))
-        reporter = VendorReporter()
-        vendor_reports: dict[str, VendorReport] = {}
-        for campaign in campaigns:
-            campaign_id = campaign.campaign_id
-            vendor_reports[campaign_id] = reporter.report(
-                campaign_id, server.impressions_for(campaign_id),
-                charged_eur=server.billing.charged_total(campaign_id),
-                refunded_eur=server.billing.refunded_total(campaign_id))
-
-        enricher = Enricher(ipdb, resolver, universe.ranking)
-        enricher.enrich_store(store)
-        conversions = [event.anonymized(enricher.salt)
-                       for event in conversions]
-
-        dataset = AuditDataset(
-            store=store,
-            campaigns={campaign.campaign_id: campaign
-                       for campaign in campaigns},
-            vendor_reports=vendor_reports,
-            directory={publisher.domain: publisher
-                       for publisher in universe.publishers},
-            lexicon=lexicon,
-            ranking=universe.ranking,
-        )
-        return ExperimentResult(
-            config=config,
-            dataset=dataset,
-            server=server,
-            universe=universe,
-            registry=registry,
-            collector=collector,
-            network=network,
-            pageview_count=pageview_count,
-            conversions=conversions,
-            stats={
-                "pageviews": pageview_count,
-                "delivered": len(server.impressions),
-                "logged": len(store),
-                "prefiltered": server.prefiltered_pageviews,
-                "script_blocked_publisher": script.blocked_by_publisher,
-                "script_blocked_browser": script.blocked_by_browser,
-                "connect_failures": network.failed_connects,
-                "clicks": conversion_sim.clicks_seen,
-                "conversions": conversion_sim.conversions,
-            },
-        )
+        world = build_world(config)
+        outputs = [run_shard(config, shard, world)
+                   for shard in plan_shards(config)]
+        return merge_shard_outputs(config, world, outputs)
 
 
 @functools.lru_cache(maxsize=4)
@@ -197,6 +520,7 @@ def run_paper_experiment(seed: int = 2016,
                          scale: float = 1.0) -> ExperimentResult:
     """Run (and memoise) the paper's 8-campaign experiment.
 
-    All table/figure benchmarks at the same (seed, scale) share one run.
+    All table/figure benchmarks at the same (seed, scale) share one run;
+    the result's store is sealed, so no caller can contaminate another.
     """
     return ExperimentRunner(paper_experiment(seed=seed, scale=scale)).run()

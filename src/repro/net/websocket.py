@@ -25,6 +25,12 @@ WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
 
 _MAX_CONTROL_PAYLOAD = 125
 
+#: Default cap on a single frame's claimed payload length (1 MiB).  A peer
+#: can claim up to 2**62 - 1 bytes in the header while sending none of
+#: them; without a cap a streaming decoder would buffer forever waiting
+#: for a payload that never arrives.
+DEFAULT_MAX_FRAME_SIZE = 1 << 20
+
 
 class WebSocketError(Exception):
     """Protocol violation while encoding, decoding, or handshaking."""
@@ -83,7 +89,10 @@ def encode_frame(frame: Frame, mask_key: Optional[bytes] = None,
 
     If ``frame.masked`` is true a 4-byte masking key is used — supplied via
     *mask_key* or drawn from *rng* (client-to-server frames MUST be masked
-    per RFC 6455 §5.3; the simulated beacon always masks).
+    per RFC 6455 §5.3; the simulated beacon always masks).  One of the two
+    must be given for masked frames: falling back to the global ``random``
+    module would silently break seed-determinism, which a reproduction
+    repo cannot afford.
     """
     header = bytearray()
     header.append((0x80 if frame.fin else 0x00) | int(frame.opcode))
@@ -99,8 +108,11 @@ def encode_frame(frame: Frame, mask_key: Optional[bytes] = None,
         header += length.to_bytes(8, "big")
     if frame.masked:
         if mask_key is None:
-            source = rng if rng is not None else random
-            mask_key = bytes(source.getrandbits(8) for _ in range(4))
+            if rng is None:
+                raise ValueError(
+                    "masked frames need an explicit mask_key or rng; "
+                    "implicit global randomness is not reproducible")
+            mask_key = bytes(rng.getrandbits(8) for _ in range(4))
         if len(mask_key) != 4:
             raise WebSocketError("mask key must be 4 bytes")
         header += mask_key
@@ -108,12 +120,18 @@ def encode_frame(frame: Frame, mask_key: Optional[bytes] = None,
     return bytes(header) + frame.payload
 
 
-def decode_frame(data: bytes) -> tuple[Frame, int]:
+def decode_frame(data: "bytes | bytearray | memoryview",
+                 max_frame_size: Optional[int] = None) -> tuple[Frame, int]:
     """Decode one frame from the head of *data*.
 
     Returns ``(frame, bytes_consumed)``.  Raises :class:`WebSocketError` on
     malformed input and ``IncompleteFrame`` (a subclass) when more bytes are
     needed — callers that stream should use :class:`FrameDecoder` instead.
+
+    *data* may be any bytes-like object, including a :class:`memoryview`;
+    the streaming decoder relies on that to avoid copying its buffer.
+    When *max_frame_size* is set, a frame whose *claimed* payload length
+    exceeds it is rejected immediately — before waiting for the payload.
     """
     if len(data) < 2:
         raise IncompleteFrame("need at least 2 header bytes")
@@ -146,15 +164,19 @@ def decode_frame(data: bytes) -> tuple[Frame, int]:
         if length >> 63:
             raise WebSocketError("most significant length bit must be 0")
         offset += 8
+    if max_frame_size is not None and length > max_frame_size:
+        raise WebSocketError(
+            f"claimed payload length {length} exceeds max_frame_size "
+            f"{max_frame_size}")
     mask_key = b""
     if masked:
         if len(data) < offset + 4:
             raise IncompleteFrame("need masking key")
-        mask_key = data[offset:offset + 4]
+        mask_key = bytes(data[offset:offset + 4])
         offset += 4
     if len(data) < offset + length:
         raise IncompleteFrame("need full payload")
-    payload = data[offset:offset + length]
+    payload = bytes(data[offset:offset + length])
     if masked:
         payload = _apply_mask(payload, mask_key)
     return Frame(opcode=opcode, payload=payload, fin=fin, masked=masked), offset + length
@@ -177,9 +199,11 @@ class FrameDecoder:
     ['hi']
     """
 
-    def __init__(self, require_masked: bool = False) -> None:
+    def __init__(self, require_masked: bool = False,
+                 max_frame_size: Optional[int] = DEFAULT_MAX_FRAME_SIZE) -> None:
         self._buffer = bytearray()
         self.require_masked = require_masked
+        self.max_frame_size = max_frame_size
 
     @property
     def pending_bytes(self) -> int:
@@ -187,17 +211,33 @@ class FrameDecoder:
         return len(self._buffer)
 
     def feed(self, data: bytes) -> Iterator[Frame]:
-        """Buffer *data* and yield every complete frame now available."""
+        """Buffer *data* and yield every complete frame now available.
+
+        Decoding walks the buffer through a :class:`memoryview` with an
+        offset cursor — no per-frame copy of the remaining buffer — and the
+        consumed prefix is compacted once, when the iterator finishes.  The
+        returned iterator must therefore be exhausted (or closed) before
+        ``feed`` is called again.
+        """
         self._buffer.extend(data)
-        while True:
-            try:
-                frame, consumed = decode_frame(bytes(self._buffer))
-            except IncompleteFrame:
-                return
-            del self._buffer[:consumed]
-            if self.require_masked and not frame.masked:
-                raise WebSocketError("server received unmasked client frame")
-            yield frame
+        offset = 0
+        view = memoryview(self._buffer)
+        try:
+            while True:
+                try:
+                    frame, consumed = decode_frame(
+                        view[offset:], max_frame_size=self.max_frame_size)
+                except IncompleteFrame:
+                    return
+                offset += consumed
+                if self.require_masked and not frame.masked:
+                    raise WebSocketError(
+                        "server received unmasked client frame")
+                yield frame
+        finally:
+            view.release()
+            if offset:
+                del self._buffer[:offset]
 
 
 class MessageAssembler:
@@ -233,9 +273,16 @@ def accept_key(client_key: str) -> str:
 
 
 def make_client_key(rng: Optional[random.Random] = None) -> str:
-    """A random 16-byte base64 client nonce for the opening handshake."""
-    source = rng if rng is not None else random
-    nonce = bytes(source.getrandbits(8) for _ in range(16))
+    """A random 16-byte base64 client nonce for the opening handshake.
+
+    An explicit *rng* is required: drawing the nonce from the global
+    ``random`` module would make same-seed runs diverge at the wire level.
+    """
+    if rng is None:
+        raise ValueError(
+            "make_client_key needs an explicit rng; implicit global "
+            "randomness is not reproducible")
+    nonce = bytes(rng.getrandbits(8) for _ in range(16))
     return base64.b64encode(nonce).decode("ascii")
 
 

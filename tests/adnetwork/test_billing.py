@@ -4,7 +4,12 @@ import random
 
 import pytest
 
-from repro.adnetwork.billing import BillingLedger, Charge, Refund
+from repro.adnetwork.billing import (
+    BillingLedger,
+    CampaignBillingSummary,
+    Charge,
+    Refund,
+)
 
 
 class _FakePageview:
@@ -96,3 +101,59 @@ class TestFraudRefunds:
         with pytest.raises(ValueError):
             BillingLedger().apply_fraud_refunds([], random.Random(0),
                                                 detection_rate=2.0)
+
+
+class TestSummaries:
+    def test_summaries_cover_charges_and_refunds(self):
+        ledger = BillingLedger()
+        ledger.charge("b", 1, 0.10, 0.0)
+        ledger.charge("a", 2, 0.20, 1.0)
+        ledger.refunds.append(Refund("a", 0.05, covered_impressions=3))
+        summaries = ledger.summaries()
+        assert list(summaries) == ["a", "b"]
+        assert summaries["a"].charged_eur == pytest.approx(0.20)
+        assert summaries["a"].refunded_eur == pytest.approx(0.05)
+        assert summaries["a"].refund_covered_impressions == 3
+        assert summaries["b"].refunded_eur == 0.0
+
+    def test_refund_only_campaign_gets_a_summary(self):
+        ledger = BillingLedger()
+        ledger.refunds.append(Refund("x", 0.01, covered_impressions=1))
+        assert ledger.summaries()["x"].charged_eur == 0.0
+
+    def test_absorb_summary_preserves_query_surface(self):
+        source = BillingLedger()
+        source.charge("a", 1, 0.10, 0.0)
+        source.charge("a", 2, 0.15, 1.0)
+        source.refunds.append(Refund("a", 0.05, covered_impressions=2))
+        target = BillingLedger()
+        for summary in source.summaries().values():
+            target.absorb_summary(summary)
+        assert target.charged_total("a") == pytest.approx(
+            source.charged_total("a"))
+        assert target.refunded_total("a") == pytest.approx(
+            source.refunded_total("a"))
+        assert target.net_total("a") == pytest.approx(source.net_total("a"))
+
+    def test_absorbing_shards_in_order_is_deterministic(self):
+        shards = []
+        for seed in range(3):
+            ledger = BillingLedger()
+            ledger.charge("a", 1, 0.1 * (seed + 1), float(seed))
+            shards.append(ledger.summaries())
+        merged_one = BillingLedger()
+        merged_two = BillingLedger()
+        for shard in shards:
+            for summary in shard.values():
+                merged_one.absorb_summary(summary)
+                merged_two.absorb_summary(summary)
+        # Identical fold order -> bit-identical float totals.
+        assert merged_one.charged_total("a") == merged_two.charged_total("a")
+
+    def test_summary_validation(self):
+        with pytest.raises(ValueError):
+            CampaignBillingSummary("", 0.0, 0.0, 0)
+        with pytest.raises(ValueError):
+            CampaignBillingSummary("a", -0.1, 0.0, 0)
+        with pytest.raises(ValueError):
+            CampaignBillingSummary("a", 0.0, 0.0, -1)

@@ -8,7 +8,9 @@ from repro.adnetwork.matching import MatchDecision, MatchReason
 from repro.adnetwork.reporting import (
     ANONYMOUS_PLACEMENT,
     PlacementRow,
+    ReportAggregate,
     VendorReporter,
+    merge_aggregates,
 )
 from repro.adnetwork.server import DeliveredImpression
 from repro.adnetwork.viewability import Exposure
@@ -118,3 +120,48 @@ class TestVendorReporter:
             charged_eur=1.5, refunded_eur=0.25)
         assert report.charged_eur == 1.5
         assert report.refunded_eur == 0.25
+
+
+class TestReportAggregates:
+    def test_report_equals_build_of_aggregate(self, football_campaign):
+        impressions = [make_impression(football_campaign, i,
+                                       viewable=i % 3 != 0)
+                       for i in range(1, 13)]
+        reporter = VendorReporter()
+        direct = reporter.report("Football-010", impressions)
+        via_aggregate = reporter.build(
+            reporter.aggregate("Football-010", impressions))
+        assert via_aggregate == direct
+
+    def test_merged_shards_equal_single_pass(self, football_campaign):
+        publishers = [make_publisher(domain=f"p{i}.es") for i in range(4)]
+        impressions = [make_impression(football_campaign, i,
+                                       publishers[i % 4],
+                                       viewable=i % 2 == 0,
+                                       reason=MatchReason.CONTEXTUAL
+                                       if i % 3 == 0 else MatchReason.BROAD)
+                       for i in range(1, 21)]
+        reporter = VendorReporter()
+        whole = reporter.aggregate("Football-010", impressions)
+        shards = [reporter.aggregate("Football-010", impressions[i::3])
+                  for i in range(3)]
+        assert merge_aggregates(shards, "Football-010") == whole
+
+    def test_merge_rejects_foreign_campaign(self, football_campaign):
+        reporter = VendorReporter()
+        aggregate = reporter.aggregate(
+            "Football-010", [make_impression(football_campaign, 1)])
+        with pytest.raises(ValueError):
+            merge_aggregates([aggregate], "Other")
+
+    def test_empty_merge_builds_empty_report(self):
+        merged = merge_aggregates([], "Empty")
+        report = VendorReporter.build(merged)
+        assert report.total_impressions == 0
+        assert report.placements == ()
+
+    def test_aggregate_validation(self):
+        with pytest.raises(ValueError):
+            ReportAggregate("", 0, 0, ())
+        with pytest.raises(ValueError):
+            ReportAggregate("a", -1, 0, ())

@@ -156,6 +156,21 @@ class TestFrameHandling:
         record = collector.finalize(connection)
         assert record.truncated
 
+    def test_oversized_claimed_frame_counted_as_malformed(self, setup):
+        # A hostile client claiming a huge payload length must fail the
+        # session immediately (counted as malformed), not make the server
+        # buffer bytes until the claim is satisfied.
+        collector, store, network = setup
+        connection, now = open_connection(collector, network)
+        header = bytes([0x81 | 0x00, 0x80 | 127]) \
+            + (1 << 30).to_bytes(8, "big") + b"\x01\x02\x03\x04"
+        connection.client_send(header, now)
+        collector.process(connection)
+        assert collector.malformed_messages == 1
+        connection.close(now + 1)
+        assert collector.finalize(connection) is None
+        assert len(store) == 0
+
     def test_ping_frames_ignored(self, setup):
         collector, _, network = setup
         connection, now = open_connection(collector, network)

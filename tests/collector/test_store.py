@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.collector.store import ImpressionRecord, ImpressionStore
+from repro.collector.store import (
+    ImpressionRecord,
+    ImpressionStore,
+    StoreSealedError,
+)
 
 
 def make_record(record_id=1, campaign="Research-010", domain="diario1.es",
@@ -139,3 +143,96 @@ class TestPersistence:
         store.dump_jsonl(path)
         path.write_text(path.read_text() + "\n\n")
         assert len(ImpressionStore.load_jsonl(path)) == 1
+
+    def test_filtered_dump_with_gapped_ids_reloads(self):
+        # Regression: a dump made from a filtered store (ids 2, 5, 9 —
+        # non-contiguous, first id > 1) used to be rejected on reload.
+        store = ImpressionStore()
+        for index in range(1, 10):
+            store.insert(make_record(record_id=index,
+                                     exposure=float(index)))
+        filtered = ImpressionStore()
+        filtered._records = [record for record in store
+                             if record.record_id in (2, 5, 9)]
+        text = filtered.dumps_jsonl()
+        loaded = ImpressionStore.loads_jsonl(text)
+        assert [record.record_id for record in loaded] == [2, 5, 9]
+        assert loaded.next_record_id() == 10
+
+    def test_loaded_store_allocates_after_max_id(self):
+        store = ImpressionStore()
+        store.insert(make_record(record_id=1))
+        store.insert(make_record(record_id=2))
+        loaded = ImpressionStore.loads_jsonl(store.dumps_jsonl())
+        loaded.insert(make_record(record_id=loaded.next_record_id()))
+        assert [record.record_id for record in loaded] == [1, 2, 3]
+
+    def test_load_rejects_non_increasing_ids(self):
+        store = ImpressionStore()
+        store.insert(make_record(record_id=1))
+        line = store.dumps_jsonl()
+        with pytest.raises(ValueError, match="strictly increasing"):
+            ImpressionStore.loads_jsonl(line + line)
+
+    def test_string_and_path_roundtrips_agree(self, tmp_path):
+        store = ImpressionStore()
+        store.insert(make_record(record_id=1, mouse_moves=2))
+        path = tmp_path / "impressions.jsonl"
+        store.dump_jsonl(path)
+        assert path.read_text(encoding="utf-8") == store.dumps_jsonl()
+
+
+class TestMergeSupport:
+    def test_extend_reindexed_renumbers_contiguously(self):
+        left = ImpressionStore()
+        left.insert(make_record(record_id=1, campaign="A"))
+        right = ImpressionStore()
+        right.insert(make_record(record_id=1, campaign="B"))
+        right.insert(make_record(record_id=2, campaign="B"))
+        merged = ImpressionStore()
+        assert merged.extend_reindexed(left) == 1
+        assert merged.extend_reindexed(right) == 2
+        assert [record.record_id for record in merged] == [1, 2, 3]
+        assert merged.campaigns() == ["A", "B"]
+
+    def test_merged_dump_roundtrips(self):
+        merged = ImpressionStore()
+        for campaign in ("A", "B", "C"):
+            source = ImpressionStore()
+            source.insert(make_record(record_id=1, campaign=campaign))
+            merged.extend_reindexed(source)
+        loaded = ImpressionStore.loads_jsonl(merged.dumps_jsonl())
+        assert list(loaded) == list(merged)
+
+
+class TestSealing:
+    def test_sealed_store_rejects_insert(self):
+        store = ImpressionStore()
+        store.insert(make_record(record_id=1))
+        assert store.seal() is store
+        assert store.sealed
+        with pytest.raises(StoreSealedError):
+            store.insert(make_record(record_id=2))
+
+    def test_sealed_store_rejects_replace(self):
+        store = ImpressionStore()
+        store.insert(make_record(record_id=1))
+        store.seal()
+        with pytest.raises(StoreSealedError):
+            store.replace_at(0, make_record(record_id=1, exposure=9.0))
+
+    def test_sealed_store_still_queryable_and_dumpable(self):
+        store = ImpressionStore()
+        store.insert(make_record(record_id=1))
+        store.seal()
+        assert len(store) == 1
+        assert store.campaigns() == ["Research-010"]
+        assert store.dumps_jsonl()
+
+    def test_loaded_copy_of_sealed_store_is_mutable(self):
+        store = ImpressionStore()
+        store.insert(make_record(record_id=1))
+        store.seal()
+        copy = ImpressionStore.loads_jsonl(store.dumps_jsonl())
+        copy.insert(make_record(record_id=copy.next_record_id()))
+        assert len(copy) == 2

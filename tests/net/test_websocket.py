@@ -170,6 +170,79 @@ class TestFrameDecoder:
                             mask_key=b"\x01\x02\x03\x04")
         assert len(list(decoder.feed(wire))) == 1
 
+    def test_large_coalesced_chunk_decodes_every_frame(self):
+        payloads = [bytes([index % 256]) * 512 for index in range(500)]
+        wire = b"".join(encode_frame(Frame(Opcode.BINARY, payload))
+                        for payload in payloads)
+        decoder = FrameDecoder()
+        frames = list(decoder.feed(wire))
+        assert [frame.payload for frame in frames] == payloads
+        assert decoder.pending_bytes == 0
+
+    def test_feed_decodes_without_copying_the_buffer(self, monkeypatch):
+        # Regression: feed() used to rebuild a bytes copy of the whole
+        # remaining buffer for every frame it decoded, making one large
+        # coalesced chunk cost O(n²) in copied bytes.
+        import repro.net.websocket as ws
+
+        seen_types = []
+        real_decode = ws.decode_frame
+
+        def recording_decode(data, **kwargs):
+            seen_types.append(type(data))
+            return real_decode(data, **kwargs)
+
+        monkeypatch.setattr(ws, "decode_frame", recording_decode)
+        wire = b"".join(encode_frame(Frame(Opcode.TEXT, b"x" * 100))
+                        for _ in range(50))
+        decoder = FrameDecoder()
+        assert len(list(decoder.feed(wire))) == 50
+        assert seen_types
+        assert all(kind is memoryview for kind in seen_types)
+
+    def test_partial_tail_survives_compaction(self):
+        first = encode_frame(Frame(Opcode.TEXT, b"abc"))
+        second = encode_frame(Frame(Opcode.TEXT, b"defgh"))
+        decoder = FrameDecoder()
+        frames = list(decoder.feed(first + second[:3]))
+        assert [frame.payload for frame in frames] == [b"abc"]
+        assert decoder.pending_bytes == 3
+        frames = list(decoder.feed(second[3:]))
+        assert [frame.payload for frame in frames] == [b"defgh"]
+
+
+class TestMaxFrameSize:
+    def test_decode_frame_rejects_oversized_claim(self):
+        header = bytes([0x82, 127]) + (10 * 1024 * 1024).to_bytes(8, "big")
+        with pytest.raises(WebSocketError):
+            decode_frame(header, max_frame_size=1 << 20)
+
+    def test_decoder_rejects_claim_before_payload_arrives(self):
+        # The claimed length alone must trip the limit: a hostile client
+        # must not be able to make the server buffer gigabytes.
+        decoder = FrameDecoder(max_frame_size=1024)
+        header = bytes([0x82, 126]) + (2048).to_bytes(2, "big")
+        with pytest.raises(WebSocketError):
+            list(decoder.feed(header))
+        assert decoder.pending_bytes <= len(header)
+
+    def test_frame_exactly_at_limit_is_accepted(self):
+        decoder = FrameDecoder(max_frame_size=2048)
+        wire = encode_frame(Frame(Opcode.BINARY, b"y" * 2048))
+        frames = list(decoder.feed(wire))
+        assert len(frames) == 1
+        assert len(frames[0].payload) == 2048
+
+
+class TestExplicitRandomness:
+    def test_masked_encode_without_key_or_rng_raises(self):
+        with pytest.raises(ValueError):
+            encode_frame(Frame(Opcode.TEXT, b"x", masked=True))
+
+    def test_make_client_key_without_rng_raises(self):
+        with pytest.raises(ValueError):
+            make_client_key()
+
 
 class TestMessageAssembler:
     def test_single_frame_message(self):
