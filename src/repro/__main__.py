@@ -61,6 +61,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the full audit as JSON")
     parser.add_argument("--csv", metavar="PATH", default=None,
                         help="write the per-campaign audit summary as CSV")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the run's metrics tables to stderr")
+    parser.add_argument("--metrics-json", metavar="PATH", default=None,
+                        help="write the run's metrics snapshot as strict JSON")
     return parser
 
 
@@ -105,6 +109,16 @@ def main(argv: list[str] | None = None) -> int:
             Path(args.csv).write_text(report_to_csv(report),
                                       encoding="utf-8")
             print(f"wrote audit CSV to {args.csv}", file=sys.stderr)
+    if args.metrics:
+        from repro.obs.render import render_metrics
+
+        print(render_metrics(result.metrics), file=sys.stderr)
+    if args.metrics_json:
+        from pathlib import Path
+
+        Path(args.metrics_json).write_text(result.metrics.to_json() + "\n",
+                                           encoding="utf-8")
+        print(f"wrote metrics JSON to {args.metrics_json}", file=sys.stderr)
     return 0
 
 

@@ -14,6 +14,7 @@ from typing import Optional, Sequence
 
 from repro.adnetwork.campaign import CampaignSpec
 from repro.adnetwork.inventory import AdRequest, ExternalDemand
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -33,8 +34,20 @@ class AuctionOutcome:
 class Auction:
     """Runs auctions between our campaigns and the external market."""
 
-    def __init__(self, external: ExternalDemand) -> None:
+    def __init__(self, external: ExternalDemand,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.external = external
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        self._auctions_run = metrics.counter(
+            "auction.runs", help="auctions executed")
+        self._bids_evaluated = metrics.counter(
+            "auction.bids_evaluated",
+            help="candidate campaign bids entering an auction")
+        self._our_wins = metrics.counter(
+            "auction.our_wins", help="auctions won by an audited campaign")
+        self._external_wins = metrics.counter(
+            "auction.external_wins",
+            help="auctions lost to external demand or the floor")
 
     def run(self, request: AdRequest, candidates: Sequence[CampaignSpec],
             rng: random.Random) -> AuctionOutcome:
@@ -43,6 +56,8 @@ class Auction:
         Ties between our campaigns break uniformly at random, mirroring
         rotation on equal bids.
         """
+        self._auctions_run.inc()
+        self._bids_evaluated.inc(len(candidates))
         external_bid = self.external.sample_bid(request, rng)
         best: Optional[CampaignSpec] = None
         if candidates:
@@ -51,12 +66,14 @@ class Auction:
                        if campaign.cpm_eur == top_cpm]
             best = rng.choice(leaders)
         if best is None or best.cpm_eur < request.floor_cpm:
+            self._external_wins.inc()
             return AuctionOutcome(winner=None,
                                   clearing_cpm=max(external_bid,
                                                    request.floor_cpm),
                                   external_bid_cpm=external_bid,
                                   contested=external_bid > 0.0)
         if external_bid >= best.cpm_eur:
+            self._external_wins.inc()
             return AuctionOutcome(winner=None, clearing_cpm=external_bid,
                                   external_bid_cpm=external_bid,
                                   contested=True)
@@ -65,6 +82,7 @@ class Auction:
             if campaign is not best and campaign.cpm_eur > runner_up:
                 runner_up = campaign.cpm_eur
         clearing = max(runner_up, request.floor_cpm)
+        self._our_wins.inc()
         return AuctionOutcome(winner=best, clearing_cpm=min(clearing, best.cpm_eur),
                               external_bid_cpm=external_bid,
                               contested=external_bid > 0.0)

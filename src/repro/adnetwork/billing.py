@@ -14,6 +14,8 @@ import random
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.obs.metrics import MetricsRegistry
+
 
 @dataclass(frozen=True)
 class Charge:
@@ -72,9 +74,18 @@ class Refund:
 class BillingLedger:
     """Per-campaign charge/refund accounting."""
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
         self.charges: list[Charge] = []
         self.refunds: list[Refund] = []
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        self._charges_recorded = metrics.counter(
+            "billing.charges", help="impression charges recorded")
+        self._charged_eur = metrics.counter(
+            "billing.charged_eur", help="gross spend charged (EUR)")
+        self._refunds_recorded = metrics.counter(
+            "billing.refunds", help="refund entries recorded")
+        self._refunded_eur = metrics.counter(
+            "billing.refunded_eur", help="credits issued back (EUR)")
 
     def charge(self, campaign_id: str, impression_id: int,
                amount_eur: float, timestamp: float) -> None:
@@ -83,6 +94,8 @@ class BillingLedger:
                                    impression_id=impression_id,
                                    amount_eur=amount_eur,
                                    timestamp=timestamp))
+        self._charges_recorded.inc()
+        self._charged_eur.inc(amount_eur)
 
     def charged_total(self, campaign_id: str) -> float:
         """Gross spend billed to a campaign."""
@@ -131,11 +144,15 @@ class BillingLedger:
             self.charges.append(Charge(
                 campaign_id=summary.campaign_id, impression_id=0,
                 amount_eur=summary.charged_eur, timestamp=0.0))
+            self._charges_recorded.inc()
+            self._charged_eur.inc(summary.charged_eur)
         if summary.refunded_eur > 0 or summary.refund_covered_impressions > 0:
             self.refunds.append(Refund(
                 campaign_id=summary.campaign_id,
                 amount_eur=summary.refunded_eur,
                 covered_impressions=summary.refund_covered_impressions))
+            self._refunds_recorded.inc()
+            self._refunded_eur.inc(summary.refunded_eur)
 
     def apply_fraud_refunds(self, impressions: Iterable, rng: random.Random,
                             detection_rate: float = 0.5) -> list[Refund]:
@@ -164,4 +181,7 @@ class BillingLedger:
                           covered_impressions=count)
                    for campaign_id, (amount, count) in sorted(per_campaign.items())]
         self.refunds.extend(refunds)
+        for refund in refunds:
+            self._refunds_recorded.inc()
+            self._refunded_eur.inc(refund.amount_eur)
         return refunds

@@ -11,6 +11,7 @@ from __future__ import annotations
 import random
 
 from repro.adnetwork.campaign import CampaignSpec
+from repro.obs.metrics import MetricsRegistry
 
 _SECONDS_PER_DAY = 86_400.0
 
@@ -19,7 +20,8 @@ class BudgetPacer:
     """Per-campaign daily spend ledger with probabilistic throttling."""
 
     def __init__(self, campaigns: list[CampaignSpec],
-                 throttle_floor: float = 0.15) -> None:
+                 throttle_floor: float = 0.15,
+                 metrics: MetricsRegistry | None = None) -> None:
         if not 0.0 < throttle_floor <= 1.0:
             raise ValueError("throttle_floor must be within (0, 1]")
         self.throttle_floor = throttle_floor
@@ -30,6 +32,20 @@ class BudgetPacer:
         self._spent_today: dict[tuple[str, int], float] = {}
         self.total_spend: dict[str, float] = {
             campaign.campaign_id: 0.0 for campaign in campaigns}
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        self._bid_checks = metrics.counter(
+            "pacing.bid_checks", help="may_bid decisions evaluated")
+        self._throttles_budget = metrics.counter(
+            "pacing.throttles_budget",
+            help="bids refused: daily budget already exhausted")
+        self._throttles_schedule = metrics.counter(
+            "pacing.throttles_schedule",
+            help="bids refused: ahead of the intraday spend schedule")
+        self._throttles_random = metrics.counter(
+            "pacing.throttles_random",
+            help="bids refused by probabilistic smoothing")
+        self._spend_recorded = metrics.counter(
+            "pacing.spend_eur", help="spend charged through the pacer (EUR)")
 
     @staticmethod
     def _day_index(campaign: CampaignSpec, unix_time: float) -> int:
@@ -54,15 +70,21 @@ class BudgetPacer:
         """
         budget = campaign.daily_budget_eur
         spent = self.spent_today(campaign, unix_time)
+        self._bid_checks.inc()
         if spent >= budget:
+            self._throttles_budget.inc()
             return False
         day_fraction = ((unix_time - campaign.start_unix) % _SECONDS_PER_DAY
                         ) / _SECONDS_PER_DAY
         allowed = budget * min(1.0, day_fraction + 0.02)
         if spent >= allowed:
+            self._throttles_schedule.inc()
             return False
         # Light randomisation avoids serving strictly first-come pageviews.
-        return rng.random() < max(self.throttle_floor, 1.0 - spent / budget)
+        if rng.random() < max(self.throttle_floor, 1.0 - spent / budget):
+            return True
+        self._throttles_random.inc()
+        return False
 
     def record_spend(self, campaign: CampaignSpec, unix_time: float,
                      amount_eur: float) -> None:
@@ -72,3 +94,4 @@ class BudgetPacer:
         key = (campaign.campaign_id, self._day_index(campaign, unix_time))
         self._spent_today[key] = self._spent_today.get(key, 0.0) + amount_eur
         self.total_spend[campaign.campaign_id] += amount_eur
+        self._spend_recorded.inc(amount_eur)

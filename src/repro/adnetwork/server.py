@@ -22,6 +22,7 @@ from repro.adnetwork.matching import MatchDecision, MatchEngine
 from repro.adnetwork.pacing import BudgetPacer
 from repro.adnetwork.viewability import Exposure, ExposureModel
 from repro.geo.ipdb import GeoIpDatabase
+from repro.obs.metrics import MetricsRegistry
 from repro.web.browsing import Pageview
 
 
@@ -93,21 +94,30 @@ class AdServer:
     def __init__(self, campaigns: list[CampaignSpec], matcher: MatchEngine,
                  external: ExternalDemand, ipdb: GeoIpDatabase,
                  policy: NetworkPolicy | None = None,
-                 exposure_model: ExposureModel | None = None) -> None:
+                 exposure_model: ExposureModel | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.campaigns = list(campaigns)
         self.matcher = matcher
-        self.auction = Auction(external)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.auction = Auction(external, metrics=self.metrics)
         self.ipdb = ipdb
         self.policy = policy or NetworkPolicy()
         self.exposure_model = exposure_model or ExposureModel()
-        self.pacer = BudgetPacer(self.campaigns)
-        self.billing = BillingLedger()
+        self.pacer = BudgetPacer(self.campaigns, metrics=self.metrics)
+        self.billing = BillingLedger(metrics=self.metrics)
         self._next_impression_id = 1
         self._frequency: dict[tuple[str, str, str], int] = {}
         self._supply_matched: dict[str, int] = {}
         self._supply_examined: dict[str, int] = {}
         self.prefiltered_pageviews = 0
         self.impressions: list[DeliveredImpression] = []
+        self._pageviews_seen = self.metrics.counter(
+            "adserver.pageviews", help="pageviews offered to the ad server")
+        self._prefiltered = self.metrics.counter(
+            "adserver.prefiltered",
+            help="bot pageviews stopped by the IVT prefilter")
+        self._deliveries = self.metrics.counter(
+            "adserver.deliveries", help="impressions delivered and charged")
 
     # ------------------------------------------------------------------ #
 
@@ -178,8 +188,10 @@ class AdServer:
         pageviews outright.  The bots that slip through are served and
         charged like humans — producing Table 4's data-center impressions.
         """
+        self._pageviews_seen.inc()
         if pageview.is_bot and rng.random() < self.policy.ivt_prefilter_rate:
             self.prefiltered_pageviews += 1
+            self._prefiltered.inc()
             return None
         now = pageview.timestamp
         country = self.resolve_country(pageview)
@@ -233,6 +245,7 @@ class AdServer:
                             impression.price_eur, now)
         self._count_delivery(campaign, pageview)
         self.impressions.append(impression)
+        self._deliveries.inc()
         return impression
 
     def run(self, pageviews, rng: random.Random) -> list[DeliveredImpression]:

@@ -10,9 +10,23 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Any
+import math
+from typing import Any, Iterable
 
+from repro.audit.conversion import ConversionResult
 from repro.audit.report import FullAuditReport
+
+
+def _finite(value: float, digits: int | None = None) -> float | None:
+    """A float fit for strict JSON: non-finite values become ``None``.
+
+    ``float("inf")`` / NaN would otherwise serialise as the bare tokens
+    ``Infinity`` / ``NaN``, which are not JSON and break every strict
+    parser downstream.
+    """
+    if not math.isfinite(value):
+        return None
+    return round(value, digits) if digits is not None else value
 
 
 def report_to_dict(report: FullAuditReport) -> dict[str, Any]:
@@ -25,50 +39,50 @@ def report_to_dict(report: FullAuditReport) -> dict[str, Any]:
                 "publishers_audit_only": campaign.venn.audit_only,
                 "publishers_both": campaign.venn.both,
                 "publishers_vendor_only": campaign.venn.vendor_only,
-                "unreported_by_vendor_pct": round(
+                "unreported_by_vendor_pct": _finite(
                     campaign.venn.unreported_by_vendor.pct, 2),
-                "unlogged_by_audit_pct": round(
+                "unlogged_by_audit_pct": _finite(
                     campaign.venn.unlogged_by_audit.pct, 2),
             },
             "context": {
-                "audit_pct": round(campaign.context.audit_fraction.pct, 2),
-                "vendor_pct": round(campaign.context.vendor_fraction.pct, 2),
+                "audit_pct": _finite(campaign.context.audit_fraction.pct, 2),
+                "vendor_pct": _finite(campaign.context.vendor_fraction.pct, 2),
                 "meaningful_publishers": campaign.context.meaningful_publishers,
             },
             "viewability": {
-                "upper_bound_pct": round(
+                "upper_bound_pct": _finite(
                     campaign.viewability.viewable_upper_bound.pct, 2),
-                "median_exposure_seconds": round(
+                "median_exposure_seconds": _finite(
                     campaign.viewability.median_exposure_seconds, 3),
             },
             "fraud": {
-                "dc_ips_pct": round(campaign.fraud.dc_ips.pct, 2),
-                "dc_impressions_pct": round(
+                "dc_ips_pct": _finite(campaign.fraud.dc_ips.pct, 2),
+                "dc_impressions_pct": _finite(
                     campaign.fraud.dc_impressions.pct, 2),
-                "dc_publishers_pct": round(
+                "dc_publishers_pct": _finite(
                     campaign.fraud.dc_publishers.pct, 2),
-                "estimated_cost_eur": round(
+                "estimated_cost_eur": _finite(
                     campaign.fraud.estimated_cost_eur, 6),
-                "vendor_refund_eur": round(
+                "vendor_refund_eur": _finite(
                     campaign.fraud.vendor_refund_eur, 6),
             },
             "reconciliation": {
                 "vendor_impressions": campaign.discrepancies.vendor_impressions,
                 "logged_impressions": campaign.discrepancies.logged_impressions,
-                "logging_loss_pct": round(
+                "logging_loss_pct": _finite(
                     campaign.discrepancies.logging_loss.pct, 2),
-                "contextual_gap_points": round(
+                "contextual_gap_points": _finite(
                     campaign.discrepancies.contextual_gap_points, 2),
-                "dc_cost_not_refunded_eur": round(
+                "dc_cost_not_refunded_eur": _finite(
                     campaign.discrepancies.dc_cost_not_refunded_eur, 6),
             },
             "popularity": {
                 "bucket_edges": list(campaign.popularity.bucket_edges),
                 "publisher_fractions": [
-                    round(value, 4)
+                    _finite(value, 4)
                     for value in campaign.popularity.publisher_fractions],
                 "impression_fractions": [
-                    round(value, 4)
+                    _finite(value, 4)
                     for value in campaign.popularity.impression_fractions],
             },
         })
@@ -78,7 +92,7 @@ def report_to_dict(report: FullAuditReport) -> dict[str, Any]:
             "publishers_audit_only": report.aggregate_venn.audit_only,
             "publishers_both": report.aggregate_venn.both,
             "publishers_vendor_only": report.aggregate_venn.vendor_only,
-            "unreported_by_vendor_pct": round(
+            "unreported_by_vendor_pct": _finite(
                 report.aggregate_venn.unreported_by_vendor.pct, 2),
         },
         "frequency": {
@@ -94,8 +108,38 @@ def report_to_dict(report: FullAuditReport) -> dict[str, Any]:
 
 
 def report_to_json(report: FullAuditReport, indent: int = 2) -> str:
-    """The full audit as a JSON document."""
-    return json.dumps(report_to_dict(report), indent=indent, sort_keys=True)
+    """The full audit as a strict JSON document (no ``Infinity``/``NaN``)."""
+    return json.dumps(report_to_dict(report), indent=indent, sort_keys=True,
+                      allow_nan=False)
+
+
+def funnel_to_dicts(results: Iterable[ConversionResult]) -> list[dict[str, Any]]:
+    """The conversion funnel as JSON-serialisable rows.
+
+    ``cost_per_conversion_eur`` is ``inf`` for a campaign with zero
+    conversions; it exports as ``null`` so the document stays strict JSON.
+    """
+    return [{
+        "campaign_id": result.campaign_id,
+        "impressions": result.impressions,
+        "clicks": result.clicks,
+        "conversions": result.conversions,
+        "ctr_pct": _finite(result.ctr.pct, 2),
+        "conversion_ratio_pct": _finite(result.conversion_ratio.pct, 4),
+        "revenue_eur": _finite(result.revenue_eur, 6),
+        "spend_eur": _finite(result.spend_eur, 6),
+        "cost_per_conversion_eur": _finite(
+            result.cost_per_conversion_eur, 6),
+        "dc_clicks": result.dc_clicks,
+        "dc_conversions": result.dc_conversions,
+    } for result in results]
+
+
+def funnel_to_json(results: Iterable[ConversionResult],
+                   indent: int = 2) -> str:
+    """The conversion funnel as a strict JSON document."""
+    return json.dumps(funnel_to_dicts(results), indent=indent,
+                      sort_keys=True, allow_nan=False)
 
 
 #: Column order for the per-campaign CSV export.

@@ -37,6 +37,12 @@ from repro.net.websocket import (
     make_handshake_response,
     parse_handshake_request,
 )
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timing import wall_timer
+
+#: Fixed edges for the (sim-domain) connection-duration histogram —
+#: sub-second beacon failures through multi-minute exposures.
+CONNECTION_SECONDS_EDGES = (0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 300.0)
 
 
 @dataclass
@@ -44,9 +50,9 @@ class _Session:
     """Per-connection server state."""
 
     connection: Connection
+    decoder: FrameDecoder
     handshake_done: bool = False
     handshake_buffer: bytearray = field(default_factory=bytearray)
-    decoder: FrameDecoder = field(default_factory=lambda: FrameDecoder(require_masked=True))
     assembler: MessageAssembler = field(default_factory=MessageAssembler)
     hello: Optional[HelloMessage] = None
     mouse_moves: int = 0
@@ -57,26 +63,89 @@ class _Session:
 
 
 class CollectorServer:
-    """Accepts beacon connections and writes the impression database."""
+    """Accepts beacon connections and writes the impression database.
+
+    Error/commit counts are backed by a :class:`MetricsRegistry` (the
+    shard's, when one is passed in) so the collector contributes to the
+    run's mergeable :class:`~repro.obs.metrics.MetricsSnapshot`; the
+    legacy integer attributes remain readable *and* assignable — the
+    experiment merge sums them across shards.
+    """
 
     DEFAULT_ENDPOINT = Endpoint(ip="198.51.100.10", port=443)
 
     def __init__(self, store: ImpressionStore,
-                 endpoint: Endpoint | None = None) -> None:
+                 endpoint: Endpoint | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.store = store
         self.endpoint = endpoint or self.DEFAULT_ENDPOINT
         self._sessions: dict[int, _Session] = {}
-        self.handshake_failures = 0
-        self.malformed_messages = 0
-        self.connections_without_hello = 0
-        self.records_committed = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._handshake_failures = self.metrics.counter(
+            "collector.handshake_failures",
+            help="connections dropped during the upgrade handshake")
+        self._malformed_messages = self.metrics.counter(
+            "collector.malformed_messages",
+            help="frames/payloads rejected after the handshake")
+        self._connections_without_hello = self.metrics.counter(
+            "collector.connections_without_hello",
+            help="closed connections that never produced a valid HELLO")
+        self._records_committed = self.metrics.counter(
+            "collector.records_committed",
+            help="impression records written to the store")
+        self._connections_accepted = self.metrics.counter(
+            "collector.connections_accepted",
+            help="transport connections accepted")
+        self._connection_seconds = self.metrics.histogram(
+            "collector.connection_seconds", CONNECTION_SECONDS_EDGES,
+            help="server-measured durations of committed connections")
+        self._decode_timer = wall_timer(
+            self.metrics, "collector.decode_wall_seconds",
+            help="host time spent decoding frames per process() call")
+
+    # -- registry-backed legacy counters ------------------------------- #
+
+    @property
+    def handshake_failures(self) -> int:
+        return int(self._handshake_failures.value)
+
+    @handshake_failures.setter
+    def handshake_failures(self, value: int) -> None:
+        self._handshake_failures.value = value
+
+    @property
+    def malformed_messages(self) -> int:
+        return int(self._malformed_messages.value)
+
+    @malformed_messages.setter
+    def malformed_messages(self, value: int) -> None:
+        self._malformed_messages.value = value
+
+    @property
+    def connections_without_hello(self) -> int:
+        return int(self._connections_without_hello.value)
+
+    @connections_without_hello.setter
+    def connections_without_hello(self, value: int) -> None:
+        self._connections_without_hello.value = value
+
+    @property
+    def records_committed(self) -> int:
+        return int(self._records_committed.value)
+
+    @records_committed.setter
+    def records_committed(self, value: int) -> None:
+        self._records_committed.value = value
 
     def attach(self, network: SimulatedNetwork) -> None:
         """Register as the listening server on *network*."""
         network.on_accept(self._accept)
 
     def _accept(self, connection: Connection) -> None:
-        self._sessions[connection.connection_id] = _Session(connection=connection)
+        self._connections_accepted.inc()
+        self._sessions[connection.connection_id] = _Session(
+            connection=connection,
+            decoder=FrameDecoder(require_masked=True, metrics=self.metrics))
 
     def session_count(self) -> int:
         """Connections currently tracked (not yet finalized)."""
@@ -101,10 +170,11 @@ class CollectorServer:
             if session.failed or data is None:
                 return
         try:
-            for frame in session.decoder.feed(data):
-                self._handle_frame(session, frame)
+            with self._decode_timer.measure():
+                for frame in session.decoder.feed(data):
+                    self._handle_frame(session, frame)
         except WebSocketError:
-            self.malformed_messages += 1
+            self._malformed_messages.inc()
             session.failed = True
 
     def _handle_handshake(self, session: _Session,
@@ -120,7 +190,7 @@ class CollectorServer:
         try:
             headers = parse_handshake_request(raw)
         except WebSocketError:
-            self.handshake_failures += 1
+            self._handshake_failures.inc()
             session.failed = True
             return None
         session.handshake_done = True
@@ -141,25 +211,25 @@ class CollectorServer:
         try:
             assembled = session.assembler.push(frame)
         except WebSocketError:
-            self.malformed_messages += 1
+            self._malformed_messages.inc()
             session.failed = True
             return
         if assembled is None:
             return
         opcode, payload = assembled
         if opcode is not Opcode.TEXT:
-            self.malformed_messages += 1
+            self._malformed_messages.inc()
             return
         try:
             message = parse_message(payload.decode("utf-8"))
         except (UnicodeDecodeError, PayloadError):
-            self.malformed_messages += 1
+            self._malformed_messages.inc()
             return
         if isinstance(message, HelloMessage):
             if session.hello is None:
                 session.hello = message
             else:
-                self.malformed_messages += 1
+                self._malformed_messages.inc()
         elif isinstance(message, InteractionMessage):
             if message.kind.value == "mousemove":
                 session.mouse_moves += 1
@@ -184,7 +254,7 @@ class CollectorServer:
             self._sessions[connection.connection_id] = session
             raise ValueError("cannot finalize an open connection")
         if session.failed or session.hello is None:
-            self.connections_without_hello += 1
+            self._connections_without_hello.inc()
             return None
         hello = session.hello
         record = ImpressionRecord(
@@ -202,5 +272,6 @@ class CollectorServer:
             pixels_in_view=hello.pixels_in_view,
         )
         self.store.insert(record)
-        self.records_committed += 1
+        self._records_committed.inc()
+        self._connection_seconds.observe(record.exposure_seconds)
         return record

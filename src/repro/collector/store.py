@@ -13,6 +13,7 @@ from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Iterator, Optional
 
+from repro.obs.metrics import MetricsRegistry
 from repro.web.publisher import domain_of_url
 
 
@@ -89,10 +90,17 @@ class ImpressionRecord:
 class ImpressionStore:
     """Append-only impression table with the audit's query surface."""
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
         self._records: list[ImpressionRecord] = []
         self._next_id = 1
         self._sealed = False
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        self._appends = metrics.counter(
+            "store.appends", help="records appended to the impression store")
+        self._replaces = metrics.counter(
+            "store.replaces", help="in-place record overwrites (enrichment)")
+        self._sealed_gauge = metrics.gauge(
+            "store.sealed", help="1 once the store is frozen against writes")
 
     def __len__(self) -> int:
         return len(self._records)
@@ -113,6 +121,7 @@ class ImpressionStore:
         one caller mutating it.  Returns self for chaining.
         """
         self._sealed = True
+        self._sealed_gauge.set(1)
         return self
 
     def _check_mutable(self) -> None:
@@ -133,11 +142,13 @@ class ImpressionStore:
                 f"expected record_id {self._next_id}, got {record.record_id}")
         self._records.append(record)
         self._next_id += 1
+        self._appends.inc()
 
     def replace_at(self, index: int, record: ImpressionRecord) -> None:
         """Overwrite a record in place (enrichment uses this)."""
         self._check_mutable()
         self._records[index] = record
+        self._replaces.inc()
 
     def extend_reindexed(self, records: "Iterator[ImpressionRecord] | list[ImpressionRecord]") -> int:
         """Append copies of *records* under freshly allocated ids.

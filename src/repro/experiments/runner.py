@@ -50,6 +50,8 @@ from repro.geo.ipdb import GeoIpDatabase
 from repro.geo.providers import ProviderRegistry
 from repro.geo.resolver import DataCenterResolver
 from repro.net.transport import SimulatedNetwork
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot, merge_snapshots
+from repro.obs.timing import wall_timer
 from repro.taxonomy.lexicon import Lexicon, build_default_lexicon
 from repro.util.rng import RngFactory
 from repro.util.simclock import SimClock
@@ -77,6 +79,11 @@ class ExperimentResult:
     #: First-party conversion log (the paper's future-work analysis),
     #: anonymised with the same salt as the impression dataset.
     conversions: list[ConversionEvent] = field(default_factory=list)
+    #: Canonical merge of the per-shard metrics snapshots.  The sim-domain
+    #: portion is a pure function of (config, seed) — identical between
+    #: the serial and parallel runners; the wall-domain portion carries
+    #: host timings and is excluded from the determinism contract.
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
 
     def delivered(self, campaign_id: str) -> int:
         """Ground-truth impressions the network delivered for a campaign."""
@@ -280,6 +287,11 @@ class ShardOutput:
     malformed_messages: int
     connections_without_hello: int
     records_committed: int
+    #: Immutable snapshot of the shard's private metrics registry; the
+    #: merge absorbs these in canonical plan order, like the report
+    #: aggregates, so serial and parallel runs agree field-for-field on
+    #: every sim-domain metric.
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
 
 
 def run_shard(config: ExperimentConfig, shard: ShardSpec,
@@ -298,18 +310,24 @@ def run_shard(config: ExperimentConfig, shard: ShardSpec,
     rngs = RngFactory(config.seed)
     scope = shard.scope
     period = _period_by_name(config, shard.period_name)
+    metrics = MetricsRegistry()
+    shard_timer = wall_timer(metrics, "shard.wall_seconds",
+                             help="host time simulating one shard")
+    pageview_counter = metrics.counter(
+        "shard.pageviews", help="pageviews simulated across all shards")
 
     campaigns = [replace(plan.spec,
                          daily_budget_eur=plan.spec.daily_budget_eur
                          / _budget_divisor(config, plan.spec))
                  for plan in config.campaigns]
     server = AdServer(campaigns, MatchEngine(world.lexicon),
-                      ExternalDemand(), world.ipdb, policy=NetworkPolicy())
+                      ExternalDemand(), world.ipdb, policy=NetworkPolicy(),
+                      metrics=metrics)
 
     clock = SimClock(shard.start_unix)
     network = SimulatedNetwork(clock, rngs.stream(f"network/{scope}"))
-    store = ImpressionStore()
-    collector = CollectorServer(store)
+    store = ImpressionStore(metrics=metrics)
+    collector = CollectorServer(store, metrics=metrics)
     collector.attach(network)
     beacon_client = BeaconClient(network, collector, clock,
                                  rngs.stream(f"beacon-net/{scope}"))
@@ -339,19 +357,21 @@ def run_shard(config: ExperimentConfig, shard: ShardSpec,
     pageview_count = 0
     stream = browsing.stream(humans, bots, shard.start_unix, shard.end_unix,
                              rngs.stream(f"browse/{scope}"))
-    for pageview in stream:
-        pageview_count += 1
-        impression = server.serve(pageview, serve_rng)
-        if impression is None:
-            continue
-        observation = script.observe(impression, script_rng)
-        if observation is None:
-            continue
-        beacon_client.deliver(impression, observation)
-        conversion = conversion_sim.simulate(
-            impression, observation.clicks, conversion_rng)
-        if conversion is not None:
-            conversions.append(conversion)
+    with shard_timer.measure():
+        for pageview in stream:
+            pageview_count += 1
+            pageview_counter.inc()
+            impression = server.serve(pageview, serve_rng)
+            if impression is None:
+                continue
+            observation = script.observe(impression, script_rng)
+            if observation is None:
+                continue
+            beacon_client.deliver(impression, observation)
+            conversion = conversion_sim.simulate(
+                impression, observation.clicks, conversion_rng)
+            if conversion is not None:
+                conversions.append(conversion)
 
     # Post-flight: the vendor's silent fraud clawback on this shard's
     # deliveries, then the mergeable billing/report projections.
@@ -382,6 +402,7 @@ def run_shard(config: ExperimentConfig, shard: ShardSpec,
         malformed_messages=collector.malformed_messages,
         connections_without_hello=collector.connections_without_hello,
         records_committed=collector.records_committed,
+        metrics=metrics.snapshot(),
     )
 
 
@@ -463,6 +484,13 @@ def merge_shard_outputs(config: ExperimentConfig, world: World,
     collector.records_committed = sum(output.records_committed
                                       for output in outputs)
 
+    # The merge-phase server/collector/store above run on *private*
+    # registries whose bookkeeping (lump-sum billing absorption, counter
+    # re-assignment) is an artefact of merging, not of simulation — only
+    # the shard snapshots, folded in canonical plan order, make up the
+    # experiment's metrics.
+    metrics = merge_snapshots(output.metrics for output in outputs)
+
     pageview_count = sum(output.pageviews for output in outputs)
     dataset = AuditDataset(
         store=store,
@@ -483,6 +511,7 @@ def merge_shard_outputs(config: ExperimentConfig, world: World,
         network=network,
         pageview_count=pageview_count,
         conversions=conversions,
+        metrics=metrics,
         stats={
             "pageviews": pageview_count,
             "delivered": len(server.impressions),

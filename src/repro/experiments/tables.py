@@ -7,8 +7,10 @@ columns the paper reports; ``render_tableN`` wraps it as aligned text.
 from __future__ import annotations
 
 import datetime as _dt
+import math
 
 from repro.audit.context import ContextAudit
+from repro.audit.conversion import ConversionAudit
 from repro.audit.fraud import FraudAudit
 from repro.audit.viewability import ViewabilityAudit
 from repro.experiments.runner import ExperimentResult
@@ -81,6 +83,43 @@ def table4(result: ExperimentResult) -> tuple[Headers, Rows]:
                    str(stats.dc_impressions), str(stats.dc_publishers)]
                   for stats in audit.table()]
     return headers, rows
+
+
+def _eur_or_dash(value: float) -> str:
+    """Format an EUR amount, rendering non-finite values as an em dash.
+
+    A campaign with zero conversions has an infinite cost per conversion;
+    printing ``inf EUR`` (or worse, ``nan``) in a report column helps
+    nobody — the dash marks "no conversions to divide by".
+    """
+    if not math.isfinite(value):
+        return "—"
+    return f"{value:.4f} EUR"
+
+
+def conversion_funnel(result: ExperimentResult) -> tuple[Headers, Rows]:
+    """Per-campaign conversion funnel (the paper's future-work analysis)."""
+    audit = ConversionAudit(result.dataset, result.conversions)
+    headers = ["Campaign ID", "Impressions", "Clicks", "Conversions",
+               "CTR", "Cost/Conversion", "DC Clicks"]
+    rows: Rows = []
+    for outcome in audit.table():
+        rows.append([
+            outcome.campaign_id,
+            outcome.impressions,
+            outcome.clicks,
+            outcome.conversions,
+            str(outcome.ctr),
+            _eur_or_dash(outcome.cost_per_conversion_eur),
+            outcome.dc_clicks,
+        ])
+    return headers, rows
+
+
+def render_conversion_funnel(result: ExperimentResult) -> str:
+    headers, rows = conversion_funnel(result)
+    return render_table(headers, rows,
+                        title="Conversion funnel (first-party join)")
 
 
 def render_table1(result: ExperimentResult) -> str:

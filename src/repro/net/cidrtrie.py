@@ -16,12 +16,17 @@ V = TypeVar("V")
 
 
 class _Node(Generic[V]):
-    __slots__ = ("children", "value", "has_value")
+    __slots__ = ("children", "value", "has_value", "prefix")
 
     def __init__(self) -> None:
         self.children: list[Optional[_Node[V]]] = [None, None]
         self.value: Optional[V] = None
         self.has_value = False
+        #: The exact Cidr inserted at this node.  Lookups hand it back
+        #: verbatim instead of re-deriving a network from the queried
+        #: address — the returned block is the inserted object, whatever
+        #: canonicalisation Cidr applies now or later.
+        self.prefix: Optional[Cidr] = None
 
 
 class CidrTrie(Generic[V]):
@@ -58,6 +63,7 @@ class CidrTrie(Generic[V]):
             self._size += 1
         node.value = value
         node.has_value = True
+        node.prefix = block
 
     def lookup(self, ip: str) -> Optional[V]:
         """Value of the longest prefix covering *ip*, or None."""
@@ -65,12 +71,16 @@ class CidrTrie(Generic[V]):
         return result[1] if result else None
 
     def lookup_with_prefix(self, ip: str) -> Optional[tuple[Cidr, V]]:
-        """(covering CIDR, value) of the longest match, or None."""
+        """(covering CIDR, value) of the longest match, or None.
+
+        The returned CIDR is the *inserted* prefix itself, not a network
+        reconstructed from the queried address.
+        """
         address = ip_to_int(ip)
         node = self._root
-        best: Optional[tuple[int, V]] = None
+        best: Optional[tuple[Cidr, V]] = None
         if node.has_value:
-            best = (0, node.value)  # type: ignore[arg-type]
+            best = (node.prefix, node.value)  # type: ignore[assignment]
         for depth in range(32):
             bit = (address >> (31 - depth)) & 1
             child = node.children[bit]
@@ -78,12 +88,8 @@ class CidrTrie(Generic[V]):
                 break
             node = child
             if node.has_value:
-                best = (depth + 1, node.value)  # type: ignore[arg-type]
-        if best is None:
-            return None
-        prefix_len, value = best
-        mask = ((1 << prefix_len) - 1) << (32 - prefix_len) if prefix_len else 0
-        return Cidr(address & mask, prefix_len), value
+                best = (node.prefix, node.value)  # type: ignore[assignment]
+        return best
 
     def covers(self, ip: str) -> bool:
         """True if any inserted prefix contains *ip*."""
@@ -94,8 +100,7 @@ class CidrTrie(Generic[V]):
 
         def walk(node: _Node[V], bits: int, depth: int) -> Iterator[tuple[Cidr, V]]:
             if node.has_value:
-                network = bits << (32 - depth) if depth else 0
-                yield Cidr(network, depth), node.value  # type: ignore[misc]
+                yield node.prefix, node.value  # type: ignore[misc]
             for bit in (0, 1):
                 child = node.children[bit]
                 if child is not None:

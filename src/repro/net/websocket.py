@@ -20,6 +20,8 @@ import random
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
+from repro.obs.metrics import MetricsRegistry
+
 #: RFC 6455 §1.3 — fixed GUID appended to the client key before hashing.
 WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
 
@@ -165,7 +167,7 @@ def decode_frame(data: "bytes | bytearray | memoryview",
             raise WebSocketError("most significant length bit must be 0")
         offset += 8
     if max_frame_size is not None and length > max_frame_size:
-        raise WebSocketError(
+        raise FrameTooLarge(
             f"claimed payload length {length} exceeds max_frame_size "
             f"{max_frame_size}")
     mask_key = b""
@@ -186,6 +188,15 @@ class IncompleteFrame(WebSocketError):
     """More bytes are required before a frame can be decoded."""
 
 
+class FrameTooLarge(WebSocketError):
+    """A frame's claimed payload length exceeds the decoder's cap.
+
+    Subclasses :class:`WebSocketError` so existing reject paths keep
+    working; the distinct type lets the decoder count oversized frames
+    separately from other malformed input.
+    """
+
+
 class FrameDecoder:
     """Incremental decoder: feed arbitrary byte chunks, iterate frames.
 
@@ -200,10 +211,24 @@ class FrameDecoder:
     """
 
     def __init__(self, require_masked: bool = False,
-                 max_frame_size: Optional[int] = DEFAULT_MAX_FRAME_SIZE) -> None:
+                 max_frame_size: Optional[int] = DEFAULT_MAX_FRAME_SIZE,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self._buffer = bytearray()
         self.require_masked = require_masked
         self.max_frame_size = max_frame_size
+        # Sessions of one collector share a registry, so these counters
+        # aggregate across every decoder the server creates.
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        self._bytes_fed = metrics.counter(
+            "ws.bytes_fed", help="raw bytes offered to the frame decoder")
+        self._frames_decoded = metrics.counter(
+            "ws.frames_decoded", help="complete frames decoded")
+        self._frames_oversized = metrics.counter(
+            "ws.frames_oversized",
+            help="frames rejected for exceeding max_frame_size")
+        self._frames_rejected = metrics.counter(
+            "ws.frames_rejected",
+            help="frames rejected as malformed (incl. oversized)")
 
     @property
     def pending_bytes(self) -> int:
@@ -220,6 +245,7 @@ class FrameDecoder:
         ``feed`` is called again.
         """
         self._buffer.extend(data)
+        self._bytes_fed.inc(len(data))
         offset = 0
         view = memoryview(self._buffer)
         try:
@@ -229,10 +255,19 @@ class FrameDecoder:
                         view[offset:], max_frame_size=self.max_frame_size)
                 except IncompleteFrame:
                     return
+                except FrameTooLarge:
+                    self._frames_oversized.inc()
+                    self._frames_rejected.inc()
+                    raise
+                except WebSocketError:
+                    self._frames_rejected.inc()
+                    raise
                 offset += consumed
                 if self.require_masked and not frame.masked:
+                    self._frames_rejected.inc()
                     raise WebSocketError(
                         "server received unmasked client frame")
+                self._frames_decoded.inc()
                 yield frame
         finally:
             view.release()

@@ -1,0 +1,48 @@
+"""Deterministic observability for the collection/auction/audit pipeline.
+
+See :mod:`repro.obs.metrics` for the registry/snapshot model and
+:mod:`repro.obs.timing` for clock-explicit timing spans.  The package
+depends only on the standard library (plus the repo's own table
+renderer), so every other ``repro`` package may instrument itself with
+it without creating an import cycle.
+"""
+
+from repro.obs.metrics import (
+    SIM,
+    WALL,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsError,
+    MetricsRegistry,
+    MetricsSnapshot,
+    merge_snapshots,
+)
+from repro.obs.render import render_metrics
+from repro.obs.timing import (
+    SIM_TIME_EDGES,
+    WALL_TIME_EDGES,
+    Timer,
+    sim_timer,
+    wall_timer,
+)
+
+__all__ = [
+    "SIM",
+    "WALL",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsError",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "merge_snapshots",
+    "render_metrics",
+    "SIM_TIME_EDGES",
+    "WALL_TIME_EDGES",
+    "Timer",
+    "sim_timer",
+    "wall_timer",
+]

@@ -1,0 +1,49 @@
+"""Human-readable rendering of metrics snapshots.
+
+``render_metrics`` produces the aligned text tables the ``--metrics``
+CLI flag prints to stderr; the strict-JSON export lives on
+:meth:`repro.obs.metrics.MetricsSnapshot.to_json`.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import SIM, WALL, MetricsSnapshot
+from repro.util.tables import render_table
+
+_DOMAIN_TITLES = {
+    SIM: "Sim-domain metrics (deterministic at fixed seed)",
+    WALL: "Wall-clock metrics (host machine; not reproducible)",
+}
+
+
+def _number(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6g}"
+    return str(int(value))
+
+
+def render_metrics(snapshot: MetricsSnapshot) -> str:
+    """Aligned text tables, one section per non-empty domain."""
+    sections: list[str] = []
+    for domain in (SIM, WALL):
+        restricted = snapshot.restrict(domain)
+        rows: list[list[object]] = []
+        for name, _, value in restricted.counters:
+            rows.append([name, "counter", _number(value), ""])
+        for name, _, value in restricted.gauges:
+            rows.append([name, "gauge", _number(value), ""])
+        for histogram in restricted.histograms:
+            detail = (f"mean={histogram.sum / histogram.total:.6g} "
+                      if histogram.total else "") + \
+                f"overflow={histogram.overflow}"
+            rows.append([histogram.name, "histogram",
+                         _number(histogram.total), detail])
+        if not rows:
+            continue
+        rows.sort(key=lambda row: str(row[0]))
+        sections.append(render_table(
+            ["Metric", "Kind", "Value", "Detail"], rows,
+            title=_DOMAIN_TITLES[domain]))
+    if not sections:
+        return "(no metrics recorded)"
+    return "\n\n".join(sections)

@@ -61,22 +61,38 @@ def log_buckets(max_value: int, base: int = 10, first_edge: int = 100) -> list[i
     return edges
 
 
-def bucket_index(value: int, edges: Sequence[int]) -> int:
-    """Index of the log bucket containing *value* (values above the last
-    edge fall into the last bucket)."""
+def bucket_index(value: int, edges: Sequence[int],
+                 clamp: bool = False) -> int:
+    """Index of the log bucket containing *value*.
+
+    A value above the last edge is an *error* by default: silently folding
+    it into the last bucket would misreport the distribution's tail (the
+    last bucket would quietly absorb out-of-range mass).  Callers that
+    genuinely want open-ended top buckets opt in with ``clamp=True``.
+    """
     if value < 1:
         raise ValueError("value must be at least 1")
+    if not edges:
+        raise ValueError("edges must be non-empty")
     for index, edge in enumerate(edges):
         if value <= edge:
             return index
-    return len(edges) - 1
+    if clamp:
+        return len(edges) - 1
+    raise ValueError(
+        f"value {value} exceeds the last bucket edge {edges[-1]}")
 
 
-def histogram(values: Iterable[int], edges: Sequence[int]) -> list[int]:
-    """Counts of *values* per log bucket defined by *edges*."""
+def histogram(values: Iterable[int], edges: Sequence[int],
+              clamp: bool = False) -> list[int]:
+    """Counts of *values* per log bucket defined by *edges*.
+
+    Raises :class:`ValueError` on values above the last edge unless
+    ``clamp=True`` folds them into the last bucket.
+    """
     counts = [0] * len(edges)
     for value in values:
-        counts[bucket_index(value, edges)] += 1
+        counts[bucket_index(value, edges, clamp=clamp)] += 1
     return counts
 
 

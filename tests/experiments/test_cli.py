@@ -57,3 +57,18 @@ class TestMain:
         out = capsys.readouterr().out
         assert "Brand safety" in out
         assert "Frequency capping" in out
+
+    def test_metrics_flags(self, capsys, tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        code = main(["--scale", "0.01", "--seed", "6", "--table", "3",
+                     "--metrics", "--metrics-json", str(metrics_path)])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "Sim-domain metrics" in err
+
+        text = metrics_path.read_text()
+        assert "Infinity" not in text
+        assert "NaN" not in text
+        parsed = json.loads(text)
+        assert parsed["sim"]["counters"]["shard.pageviews"] > 0
+        assert "collector.connection_seconds" in parsed["sim"]["histograms"]

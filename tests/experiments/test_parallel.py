@@ -77,6 +77,39 @@ class TestParallelEquivalence:
             == small_result.dataset.vendor_reports
         assert parallel_result.conversions == small_result.conversions
 
+    def test_sim_metrics_identical_field_for_field(self, small_result,
+                                                   parallel_result):
+        # The metrics contract: every sim-domain counter, gauge and
+        # histogram of the merged snapshot is a pure function of
+        # (config, seed) — the worker count must not leak into any of it.
+        serial = small_result.metrics.sim_only()
+        parallel = parallel_result.metrics.sim_only()
+        assert serial.counters == parallel.counters
+        assert serial.gauges == parallel.gauges
+        assert serial.histograms == parallel.histograms
+        assert serial == parallel
+        assert serial.to_json() == parallel.to_json()
+
+    def test_sim_metrics_are_populated_and_consistent(self, small_result):
+        snapshot = small_result.metrics
+        assert snapshot.counter_value("shard.pageviews") \
+            == small_result.stats["pageviews"]
+        assert snapshot.counter_value("adserver.deliveries") \
+            == small_result.stats["delivered"]
+        assert snapshot.counter_value("collector.records_committed") \
+            == small_result.collector.records_committed
+        assert snapshot.counter_value("auction.our_wins") \
+            == small_result.stats["delivered"]
+
+    def test_metrics_json_is_strict(self, small_result):
+        import json
+
+        text = small_result.metrics.to_json()
+        assert "Infinity" not in text
+        assert "NaN" not in text
+        parsed = json.loads(text)
+        assert set(parsed) == {"sim", "wall"}
+
     def test_jobs_must_be_positive(self, small_config):
         with pytest.raises(ValueError):
             ParallelExperimentRunner(small_config, jobs=0)

@@ -87,3 +87,58 @@ class TestCidrTrie:
         assert trie.lookup("10.0.0.255") == "a"
         assert trie.lookup("10.0.1.0") == "b"
         assert trie.lookup("10.0.2.0") is None
+
+
+class TestLookupReturnsInsertedPrefix:
+    """The CIDR handed back by a lookup must be the inserted one — not a
+    network re-derived from the queried address."""
+
+    @pytest.mark.parametrize("block,probe", [
+        ("10.0.0.0/8", "10.255.255.255"),        # aligned, far corner
+        ("192.168.0.0/16", "192.168.0.0"),       # aligned, network address
+        ("172.16.0.0/12", "172.31.9.9"),         # non-octet-aligned prefix
+        ("1.2.3.4/32", "1.2.3.4"),               # host route
+    ])
+    def test_returned_network_equals_inserted(self, block, probe):
+        trie = CidrTrie()
+        inserted = parse_cidr(block)
+        trie.insert(inserted, "v")
+        match = trie.lookup_with_prefix(probe)
+        assert match is not None
+        cidr, _ = match
+        assert cidr == inserted
+        assert (cidr.network, cidr.prefix) == (inserted.network,
+                                               inserted.prefix)
+
+    def test_default_route_prefix_is_whole_space(self):
+        trie = CidrTrie()
+        trie.insert("0.0.0.0/0", "default")
+        match = trie.lookup_with_prefix("203.0.113.77")
+        assert match is not None
+        cidr, value = match
+        assert str(cidr) == "0.0.0.0/0"
+        assert value == "default"
+
+    def test_longest_match_reports_its_own_prefix(self):
+        trie = CidrTrie()
+        trie.insert("10.0.0.0/8", "short")
+        trie.insert("10.1.0.0/16", "long")
+        cidr, value = trie.lookup_with_prefix("10.1.2.3")
+        assert (str(cidr), value) == ("10.1.0.0/16", "long")
+        cidr, value = trie.lookup_with_prefix("10.2.2.3")
+        assert (str(cidr), value) == ("10.0.0.0/8", "short")
+
+    def test_replace_updates_prefix_and_keeps_size(self):
+        trie = CidrTrie()
+        trie.insert("10.0.0.0/8", "old")
+        trie.insert(parse_cidr("10.0.0.0/8"), "new")
+        assert len(trie) == 1
+        cidr, value = trie.lookup_with_prefix("10.3.3.3")
+        assert (str(cidr), value) == ("10.0.0.0/8", "new")
+
+    def test_items_yield_inserted_prefix_objects(self):
+        trie = CidrTrie()
+        inserted = parse_cidr("172.16.0.0/12")
+        trie.insert(inserted, "x")
+        ((cidr, _),) = list(trie.items())
+        assert cidr == inserted

@@ -83,23 +83,39 @@ class TestBucketIndex:
         assert bucket_index(101, edges) == 1
         assert bucket_index(1000, edges) == 1
 
-    def test_values_beyond_last_edge_land_in_last_bucket(self):
-        assert bucket_index(999_999, [100, 1000]) == 1
+    def test_values_beyond_last_edge_raise(self):
+        with pytest.raises(ValueError, match="exceeds the last bucket edge"):
+            bucket_index(999_999, [100, 1000])
+
+    def test_clamp_folds_overflow_into_last_bucket(self):
+        assert bucket_index(999_999, [100, 1000], clamp=True) == 1
 
     def test_rejects_rank_below_one(self):
         with pytest.raises(ValueError):
             bucket_index(0, [100])
 
+    def test_rejects_empty_edges(self):
+        with pytest.raises(ValueError):
+            bucket_index(1, [])
+
 
 class TestHistogram:
     def test_counts_sum_to_input_size(self):
         edges = [10, 100, 1000]
-        counts = histogram([1, 5, 50, 500, 5000], edges)
+        counts = histogram([1, 5, 50, 500, 1000], edges)
         assert sum(counts) == 5
 
     def test_bucket_placement(self):
         counts = histogram([1, 2, 20, 200], [10, 100, 1000])
         assert counts == [2, 1, 1]
+
+    def test_out_of_range_value_raises(self):
+        with pytest.raises(ValueError, match="exceeds the last bucket edge"):
+            histogram([1, 5000], [10, 100, 1000])
+
+    def test_out_of_range_value_clamps_when_asked(self):
+        counts = histogram([1, 5000], [10, 100, 1000], clamp=True)
+        assert counts == [1, 0, 1]
 
 
 class TestCumulativeFractions:
