@@ -10,6 +10,8 @@ Examples::
     python -m repro --scale 0.12 --table 2 --table 4
     python -m repro --figure 1 --figure 3 --seed 7
     python -m repro --dump-dataset impressions.jsonl
+    python -m repro --trace-json trace.json # open in Perfetto
+    python -m repro explain 17              # one impression's receipt
 """
 
 from __future__ import annotations
@@ -65,10 +67,110 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the run's metrics tables to stderr")
     parser.add_argument("--metrics-json", metavar="PATH", default=None,
                         help="write the run's metrics snapshot as strict JSON")
+    parser.add_argument("--trace-json", metavar="PATH", default=None,
+                        help="write the impression traces as Chrome "
+                             "trace_event JSON (open in Perfetto or "
+                             "chrome://tracing)")
+    parser.add_argument("--trace-jsonl", metavar="PATH", default=None,
+                        help="write the impression traces as JSONL, one "
+                             "trace per line")
     return parser
 
 
+def build_explain_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro explain",
+        description="Reconstruct one impression's span tree and audit "
+                    "verdicts from the experiment's flight recorder.")
+    parser.add_argument("record_id", type=int,
+                        help="collector record id (1-based; the record_id "
+                             "column of --dump-dataset output)")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="world scale, 1.0 = paper scale (default 0.05)")
+    parser.add_argument("--seed", type=int, default=2016,
+                        help="master seed (default 2016)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the simulation")
+    return parser
+
+
+def run_explain(argv: list[str]) -> int:
+    """The ``explain`` subcommand: one impression's auditor receipt."""
+    from repro.obs.traceio import AuditVerdict, render_explain
+
+    args = build_explain_parser().parse_args(argv)
+    if args.jobs < 1:
+        print("--jobs must be at least 1", file=sys.stderr)
+        return 2
+    print(f"Reconstructing record #{args.record_id} (seed={args.seed}, "
+          f"scale={args.scale}) ...", file=sys.stderr)
+    result = ParallelExperimentRunner(
+        paper_experiment(seed=args.seed, scale=args.scale),
+        jobs=args.jobs).run()
+
+    record = next((candidate for candidate in result.dataset.store
+                   if candidate.record_id == args.record_id), None)
+    if record is None:
+        print(f"record #{args.record_id} is not in the collected dataset "
+              f"(it holds {len(result.dataset.store)} records at this "
+              f"seed/scale)", file=sys.stderr)
+        return 1
+    trace = result.recorder.find_by_record(args.record_id)
+    if trace is None:
+        print(f"record #{args.record_id} exists but its trace fell outside "
+              f"the flight recorder's head/tail retention bound; raise the "
+              f"recorder capacity or pick a lower record id",
+              file=sys.stderr)
+        return 1
+
+    campaign = result.dataset.campaigns.get(record.campaign_id)
+    verdicts = [
+        AuditVerdict(
+            audit="viewability",
+            verdict="viewable (upper bound)" if record.viewable_upper_bound
+            else "below 1 s exposure",
+            detail=f"server-measured exposure {record.exposure_seconds:.2f}s"
+                   + (", connection truncated" if record.truncated else "")),
+        AuditVerdict(
+            audit="fraud",
+            verdict="data-center traffic" if record.is_datacenter
+            else "no fraud indicator",
+            detail=f"resolver stage {record.dc_stage or 'none'}, "
+                   f"provider {record.provider or 'unknown'}"),
+    ]
+    impressions_seen = len(result.dataset.store
+                           .by_user(record.campaign_id)
+                           .get(record.user_key, []))
+    cap = campaign.frequency_cap if campaign is not None else None
+    if cap is None:
+        verdicts.append(AuditVerdict(
+            audit="frequency",
+            verdict="uncapped",
+            detail=f"user logged {impressions_seen} impression(s); no cap "
+                   f"configured — the vendor applies none by default"))
+    else:
+        verdicts.append(AuditVerdict(
+            audit="frequency",
+            verdict="cap exceeded" if impressions_seen > cap
+            else "within cap",
+            detail=f"user logged {impressions_seen} impression(s) vs "
+                   f"cap {cap}"))
+
+    header = [
+        f"  creative {record.creative_id} · {record.url}",
+        f"  user key {record.user_key.replace(chr(31), ' / ')}",
+    ]
+    print(render_explain(trace, verdicts, header_lines=header,
+                         audit_at=record.timestamp
+                         + record.exposure_seconds))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "explain":
+        return run_explain(argv[1:])
     args = build_parser().parse_args(argv)
     if args.jobs < 1:
         print("--jobs must be at least 1", file=sys.stderr)
@@ -119,6 +221,25 @@ def main(argv: list[str] | None = None) -> int:
         Path(args.metrics_json).write_text(result.metrics.to_json() + "\n",
                                            encoding="utf-8")
         print(f"wrote metrics JSON to {args.metrics_json}", file=sys.stderr)
+    if args.trace_json:
+        from pathlib import Path
+
+        from repro.obs.traceio import dumps_chrome_trace
+
+        Path(args.trace_json).write_text(
+            dumps_chrome_trace(result.recorder.traces()) + "\n",
+            encoding="utf-8")
+        print(f"wrote {len(result.recorder)} traces (Chrome trace_event) "
+              f"to {args.trace_json}", file=sys.stderr)
+    if args.trace_jsonl:
+        from pathlib import Path
+
+        from repro.obs.traceio import dumps_trace_jsonl
+
+        Path(args.trace_jsonl).write_text(
+            dumps_trace_jsonl(result.recorder.traces()), encoding="utf-8")
+        print(f"wrote {len(result.recorder)} traces (JSONL) "
+              f"to {args.trace_jsonl}", file=sys.stderr)
     return 0
 
 

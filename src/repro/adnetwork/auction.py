@@ -15,6 +15,7 @@ from typing import Optional, Sequence
 from repro.adnetwork.campaign import CampaignSpec
 from repro.adnetwork.inventory import AdRequest, ExternalDemand
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 
 
 @dataclass(frozen=True)
@@ -35,8 +36,10 @@ class Auction:
     """Runs auctions between our campaigns and the external market."""
 
     def __init__(self, external: ExternalDemand,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None) -> None:
         self.external = external
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         metrics = metrics if metrics is not None else MetricsRegistry()
         self._auctions_run = metrics.counter(
             "auction.runs", help="auctions executed")
@@ -56,6 +59,18 @@ class Auction:
         Ties between our campaigns break uniformly at random, mirroring
         rotation on equal bids.
         """
+        outcome = self._decide(request, candidates, rng)
+        self.tracer.event(
+            "auction.decide", at=self.tracer.now,
+            candidates=len(candidates),
+            winner=outcome.winner.campaign_id if outcome.winner else "external",
+            clearing_cpm=outcome.clearing_cpm,
+            external_bid_cpm=outcome.external_bid_cpm,
+            contested=outcome.contested)
+        return outcome
+
+    def _decide(self, request: AdRequest, candidates: Sequence[CampaignSpec],
+                rng: random.Random) -> AuctionOutcome:
         self._auctions_run.inc()
         self._bids_evaluated.inc(len(candidates))
         external_bid = self.external.sample_bid(request, rng)

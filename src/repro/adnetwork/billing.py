@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 
 
 @dataclass(frozen=True)
@@ -74,7 +75,9 @@ class Refund:
 class BillingLedger:
     """Per-campaign charge/refund accounting."""
 
-    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+    def __init__(self, metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None) -> None:
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.charges: list[Charge] = []
         self.refunds: list[Refund] = []
         metrics = metrics if metrics is not None else MetricsRegistry()
@@ -96,6 +99,8 @@ class BillingLedger:
                                    timestamp=timestamp))
         self._charges_recorded.inc()
         self._charged_eur.inc(amount_eur)
+        self.tracer.event("billing.charge", at=timestamp,
+                          campaign=campaign_id, amount_eur=amount_eur)
 
     def charged_total(self, campaign_id: str) -> float:
         """Gross spend billed to a campaign."""

@@ -12,6 +12,7 @@ import random
 
 from repro.adnetwork.campaign import CampaignSpec
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 
 _SECONDS_PER_DAY = 86_400.0
 
@@ -21,7 +22,9 @@ class BudgetPacer:
 
     def __init__(self, campaigns: list[CampaignSpec],
                  throttle_floor: float = 0.15,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None) -> None:
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         if not 0.0 < throttle_floor <= 1.0:
             raise ValueError("throttle_floor must be within (0, 1]")
         self.throttle_floor = throttle_floor
@@ -73,18 +76,25 @@ class BudgetPacer:
         self._bid_checks.inc()
         if spent >= budget:
             self._throttles_budget.inc()
-            return False
+            return self._gate(campaign, unix_time, False, "budget")
         day_fraction = ((unix_time - campaign.start_unix) % _SECONDS_PER_DAY
                         ) / _SECONDS_PER_DAY
         allowed = budget * min(1.0, day_fraction + 0.02)
         if spent >= allowed:
             self._throttles_schedule.inc()
-            return False
+            return self._gate(campaign, unix_time, False, "schedule")
         # Light randomisation avoids serving strictly first-come pageviews.
         if rng.random() < max(self.throttle_floor, 1.0 - spent / budget):
-            return True
+            return self._gate(campaign, unix_time, True, "open")
         self._throttles_random.inc()
-        return False
+        return self._gate(campaign, unix_time, False, "random")
+
+    def _gate(self, campaign: CampaignSpec, unix_time: float,
+              allowed: bool, reason: str) -> bool:
+        self.tracer.event("pacing.gate", at=unix_time,
+                          campaign=campaign.campaign_id,
+                          allowed=allowed, reason=reason)
+        return allowed
 
     def record_spend(self, campaign: CampaignSpec, unix_time: float,
                      amount_eur: float) -> None:

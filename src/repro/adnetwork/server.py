@@ -23,6 +23,7 @@ from repro.adnetwork.pacing import BudgetPacer
 from repro.adnetwork.viewability import Exposure, ExposureModel
 from repro.geo.ipdb import GeoIpDatabase
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.web.browsing import Pageview
 
 
@@ -95,16 +96,21 @@ class AdServer:
                  external: ExternalDemand, ipdb: GeoIpDatabase,
                  policy: NetworkPolicy | None = None,
                  exposure_model: ExposureModel | None = None,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None) -> None:
         self.campaigns = list(campaigns)
         self.matcher = matcher
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.auction = Auction(external, metrics=self.metrics)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.auction = Auction(external, metrics=self.metrics,
+                               tracer=self.tracer)
         self.ipdb = ipdb
         self.policy = policy or NetworkPolicy()
         self.exposure_model = exposure_model or ExposureModel()
-        self.pacer = BudgetPacer(self.campaigns, metrics=self.metrics)
-        self.billing = BillingLedger(metrics=self.metrics)
+        self.pacer = BudgetPacer(self.campaigns, metrics=self.metrics,
+                                 tracer=self.tracer)
+        self.billing = BillingLedger(metrics=self.metrics,
+                                     tracer=self.tracer)
         self._next_impression_id = 1
         self._frequency: dict[tuple[str, str, str], int] = {}
         self._supply_matched: dict[str, int] = {}
@@ -240,6 +246,14 @@ class AdServer:
             clearing_cpm=outcome.clearing_cpm,
         )
         self._next_impression_id += 1
+        self.tracer.set_impression(impression.impression_id,
+                                   campaign.campaign_id)
+        self.tracer.event(
+            "creative.serve", at=now,
+            campaign=campaign.campaign_id, creative=campaign.creative_id,
+            publisher=pageview.publisher.domain, country=country,
+            reason=impression.match.reason.value,
+            clearing_cpm=outcome.clearing_cpm)
         self.pacer.record_spend(campaign, now, impression.price_eur)
         self.billing.charge(campaign.campaign_id, impression.impression_id,
                             impression.price_eur, now)

@@ -19,6 +19,7 @@ from repro.beacon.events import BeaconObservation
 from repro.collector.payload import encode_hello, encode_interaction
 from repro.collector.server import CollectorServer
 from repro.net.transport import Endpoint, SimulatedNetwork
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.net.websocket import (
     Frame,
     Opcode,
@@ -57,11 +58,13 @@ class BeaconClient:
     """Drives one connection per observed impression."""
 
     def __init__(self, network: SimulatedNetwork, collector: CollectorServer,
-                 clock: SimClock, rng: random.Random) -> None:
+                 clock: SimClock, rng: random.Random,
+                 tracer: Tracer | None = None) -> None:
         self.network = network
         self.collector = collector
         self.clock = clock
         self.rng = rng
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def deliver(self, impression: DeliveredImpression,
                 observation: BeaconObservation) -> BeaconDelivery:
@@ -72,6 +75,12 @@ class BeaconClient:
         """
         render_time = (impression.pageview.timestamp
                        + impression.exposure.render_delay)
+        tracer = self.tracer
+        tracer.span("beacon.render",
+                    start=impression.pageview.timestamp, end=render_time,
+                    render_delay=impression.exposure.render_delay,
+                    exposure_seconds=observation.exposure_seconds,
+                    interactions=len(observation.interactions))
         # Keep the shared clock loosely in step for observers, but time the
         # connection itself arithmetically: beacon connections overlap, so
         # one global monotonic clock cannot sequence them.
@@ -95,6 +104,7 @@ class BeaconClient:
         if accept_key(key).encode("ascii") not in response:
             connection.close(now, initiator="client")
             self.collector.finalize(connection)
+            tracer.end(at=now)
             return BeaconDelivery(status=DeliveryStatus.HANDSHAKE_FAILED,
                                   connection_id=connection.connection_id)
         hello = encode_frame(Frame(Opcode.TEXT,
@@ -105,8 +115,10 @@ class BeaconClient:
         skew = self.clock.server_skew
         for event in observation.interactions:
             now = max(now, render_time + event.offset_seconds + skew)
+            tracer.advance_to(now)
             if self.network.maybe_drop_mid_stream(connection, now):
                 self.collector.finalize(connection)
+                tracer.end(at=now)
                 return BeaconDelivery(status=DeliveryStatus.DROPPED_MID_STREAM,
                                       connection_id=connection.connection_id)
             frame = encode_frame(Frame(Opcode.TEXT,
@@ -117,8 +129,10 @@ class BeaconClient:
         now = max(render_time + observation.exposure_seconds + skew,
                   connection.opened_at_server)
         self.clock.advance_to(now - skew)
+        tracer.advance_to(now)
         if self.network.maybe_drop_mid_stream(connection, now):
             self.collector.finalize(connection)
+            tracer.end(at=now)
             return BeaconDelivery(status=DeliveryStatus.DROPPED_MID_STREAM,
                                   connection_id=connection.connection_id)
         close = encode_frame(Frame(Opcode.CLOSE, b"", masked=True),
@@ -126,5 +140,6 @@ class BeaconClient:
         connection.client_send(close, now)
         connection.close(now, initiator="client")
         self.collector.finalize(connection)
+        tracer.end(at=now)
         return BeaconDelivery(status=DeliveryStatus.DELIVERED,
                               connection_id=connection.connection_id)

@@ -14,6 +14,7 @@ from dataclasses import replace
 from repro.collector.store import ImpressionStore
 from repro.geo.resolver import DataCenterResolver
 from repro.geo.ipdb import GeoIpDatabase
+from repro.obs.trace import FlightRecorder
 from repro.util.hashing import anonymize_ip
 from repro.web.ranking import RankingService
 
@@ -22,11 +23,16 @@ class Enricher:
     """Fills IP-derived columns and anonymises the dataset in place."""
 
     def __init__(self, ipdb: GeoIpDatabase, resolver: DataCenterResolver,
-                 ranking: RankingService, salt: str = "adaudit") -> None:
+                 ranking: RankingService, salt: str = "adaudit",
+                 recorder: FlightRecorder | None = None) -> None:
         self.ipdb = ipdb
         self.resolver = resolver
         self.ranking = ranking
         self.salt = salt
+        # Enrichment runs after the shard merge, on the assembled store,
+        # so it extends already-committed traces via recorder annotation
+        # rather than through a live tracer.
+        self.recorder = recorder
 
     def enrich_store(self, store: ImpressionStore) -> int:
         """Enrich + anonymise every not-yet-enriched record; returns count.
@@ -51,5 +57,12 @@ class Enricher:
                 is_datacenter=verdict.is_datacenter,
                 dc_stage=verdict.stage.value,
             ))
+            if self.recorder is not None:
+                self.recorder.annotate(
+                    record.record_id, "enrich.geo", at=record.timestamp,
+                    country=ip_record.country if ip_record else "",
+                    provider=ip_record.provider if ip_record else "",
+                    datacenter=verdict.is_datacenter,
+                    stage=verdict.stage.value)
             enriched += 1
         return enriched

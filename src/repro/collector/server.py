@@ -39,6 +39,7 @@ from repro.net.websocket import (
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.timing import wall_timer
+from repro.obs.trace import NULL_TRACER, Tracer
 
 #: Fixed edges for the (sim-domain) connection-duration histogram —
 #: sub-second beacon failures through multi-minute exposures.
@@ -76,11 +77,13 @@ class CollectorServer:
 
     def __init__(self, store: ImpressionStore,
                  endpoint: Endpoint | None = None,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None) -> None:
         self.store = store
         self.endpoint = endpoint or self.DEFAULT_ENDPOINT
         self._sessions: dict[int, _Session] = {}
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._handshake_failures = self.metrics.counter(
             "collector.handshake_failures",
             help="connections dropped during the upgrade handshake")
@@ -145,7 +148,8 @@ class CollectorServer:
         self._connections_accepted.inc()
         self._sessions[connection.connection_id] = _Session(
             connection=connection,
-            decoder=FrameDecoder(require_masked=True, metrics=self.metrics))
+            decoder=FrameDecoder(require_masked=True, metrics=self.metrics,
+                                 tracer=self.tracer))
 
     def session_count(self) -> int:
         """Connections currently tracked (not yet finalized)."""
@@ -255,6 +259,13 @@ class CollectorServer:
             raise ValueError("cannot finalize an open connection")
         if session.failed or session.hello is None:
             self._connections_without_hello.inc()
+            self.tracer.span(
+                "collector.ingest",
+                start=connection.opened_at_server,
+                end=connection.closed_at_server,
+                committed=False,
+                reason="failed" if session.failed else "no_hello",
+                close_initiator=connection.close_initiator)
             return None
         hello = session.hello
         record = ImpressionRecord(
@@ -274,4 +285,13 @@ class CollectorServer:
         self.store.insert(record)
         self._records_committed.inc()
         self._connection_seconds.observe(record.exposure_seconds)
+        self.tracer.set_record(record.record_id)
+        self.tracer.span(
+            "collector.ingest",
+            start=connection.opened_at_server,
+            end=connection.closed_at_server,
+            committed=True, record=record.record_id,
+            exposure_seconds=record.exposure_seconds,
+            truncated=record.truncated,
+            close_initiator=connection.close_initiator)
         return record

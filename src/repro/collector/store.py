@@ -14,6 +14,7 @@ from pathlib import Path
 from typing import Callable, Iterator, Optional
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.web.publisher import domain_of_url
 
 
@@ -90,10 +91,12 @@ class ImpressionRecord:
 class ImpressionStore:
     """Append-only impression table with the audit's query surface."""
 
-    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+    def __init__(self, metrics: MetricsRegistry | None = None,
+                 tracer: "Tracer | None" = None) -> None:
         self._records: list[ImpressionRecord] = []
         self._next_id = 1
         self._sealed = False
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         metrics = metrics if metrics is not None else MetricsRegistry()
         self._appends = metrics.counter(
             "store.appends", help="records appended to the impression store")
@@ -143,6 +146,9 @@ class ImpressionStore:
         self._records.append(record)
         self._next_id += 1
         self._appends.inc()
+        self.tracer.event("store.commit", at=self.tracer.now,
+                          record=record.record_id,
+                          campaign=record.campaign_id)
 
     def replace_at(self, index: int, record: ImpressionRecord) -> None:
         """Overwrite a record in place (enrichment uses this)."""

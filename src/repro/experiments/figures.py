@@ -82,7 +82,8 @@ class Figure2:
                 rows.append(row)
             sections.append(render_table(
                 headers, rows,
-                title=f"Figure 2 ({series_name} fraction per rank bucket)"))
+                title=f"Figure 2 ({series_name} fraction per rank bucket)",
+                right_align=tuple(range(1, len(headers)))))
         return "\n\n".join(sections)
 
 
@@ -122,7 +123,8 @@ class Figure3:
         table = render_table(
             ["Impressions per user", "Users", "Median inter-arrival (s)",
              "Min inter-arrival (s)"],
-            rows, title="Figure 3: ad repetition per user (all campaigns)")
+            rows, title="Figure 3: ad repetition per user (all campaigns)",
+            right_align=(1, 2, 3))
         return (f"{table}\n"
                 f"Users with >10 impressions of one ad: {self.users_over_10}\n"
                 f"Users with >100 impressions of one ad: {self.users_over_100}")

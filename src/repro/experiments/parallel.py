@@ -11,6 +11,12 @@ merged result is byte-for-byte identical to the serial runner's, whatever
 * the merge consumes shard outputs in canonical plan order regardless of
   completion order.
 
+The same contract covers observability: each ``ShardOutput`` carries the
+shard's metrics snapshot *and* its flight-recorder trace set, and the
+merge folds both in canonical order (rewriting trace impression/record
+ids with the same cumulative offsets the store merge uses) — so
+``--trace-json`` exports are byte-identical for any ``jobs`` value.
+
 Worker processes rebuild the (config-deterministic) world once each and
 cache it; on platforms that fork, the parent builds it *before* creating
 the pool so children inherit it copy-on-write instead.  Shards are

@@ -52,6 +52,7 @@ from repro.geo.resolver import DataCenterResolver
 from repro.net.transport import SimulatedNetwork
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot, merge_snapshots
 from repro.obs.timing import wall_timer
+from repro.obs.trace import FlightRecorder, TraceRecord, Tracer
 from repro.taxonomy.lexicon import Lexicon, build_default_lexicon
 from repro.util.rng import RngFactory
 from repro.util.simclock import SimClock
@@ -84,6 +85,11 @@ class ExperimentResult:
     #: the serial and parallel runners; the wall-domain portion carries
     #: host timings and is excluded from the determinism contract.
     metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+    #: Canonical merge of the per-shard flight recorders: one trace per
+    #: retained impression, with impression/record ids rewritten to the
+    #: merged numbering.  ``python -m repro explain`` and the
+    #: ``--trace-json`` export read from here.
+    recorder: FlightRecorder = field(default_factory=FlightRecorder)
 
     def delivered(self, campaign_id: str) -> int:
         """Ground-truth impressions the network delivered for a campaign."""
@@ -292,6 +298,9 @@ class ShardOutput:
     #: aggregates, so serial and parallel runs agree field-for-field on
     #: every sim-domain metric.
     metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+    #: The shard flight recorder's retained traces, in commit order, with
+    #: shard-local impression/record ids (the merge rewrites both).
+    traces: tuple[TraceRecord, ...] = ()
 
 
 def run_shard(config: ExperimentConfig, shard: ShardSpec,
@@ -316,21 +325,26 @@ def run_shard(config: ExperimentConfig, shard: ShardSpec,
     pageview_counter = metrics.counter(
         "shard.pageviews", help="pageviews simulated across all shards")
 
+    recorder = FlightRecorder()
+    tracer = Tracer(recorder, seed=config.seed, scope=scope)
+
     campaigns = [replace(plan.spec,
                          daily_budget_eur=plan.spec.daily_budget_eur
                          / _budget_divisor(config, plan.spec))
                  for plan in config.campaigns]
     server = AdServer(campaigns, MatchEngine(world.lexicon),
                       ExternalDemand(), world.ipdb, policy=NetworkPolicy(),
-                      metrics=metrics)
+                      metrics=metrics, tracer=tracer)
 
     clock = SimClock(shard.start_unix)
-    network = SimulatedNetwork(clock, rngs.stream(f"network/{scope}"))
-    store = ImpressionStore(metrics=metrics)
-    collector = CollectorServer(store, metrics=metrics)
+    network = SimulatedNetwork(clock, rngs.stream(f"network/{scope}"),
+                               tracer=tracer)
+    store = ImpressionStore(metrics=metrics, tracer=tracer)
+    collector = CollectorServer(store, metrics=metrics, tracer=tracer)
     collector.attach(network)
     beacon_client = BeaconClient(network, collector, clock,
-                                 rngs.stream(f"beacon-net/{scope}"))
+                                 rngs.stream(f"beacon-net/{scope}"),
+                                 tracer=tracer)
     script = BeaconScript()
     browsing = BrowsingSimulator(world.universe, world.tree)
 
@@ -361,13 +375,24 @@ def run_shard(config: ExperimentConfig, shard: ShardSpec,
         for pageview in stream:
             pageview_count += 1
             pageview_counter.inc()
+            tracer.start("impression", at=pageview.timestamp,
+                         publisher=pageview.publisher.domain,
+                         country=pageview.country, bot=pageview.is_bot)
             impression = server.serve(pageview, serve_rng)
             if impression is None:
+                tracer.abandon()
                 continue
             observation = script.observe(impression, script_rng)
             if observation is None:
+                # Delivered but never reported: the publisher or browser
+                # blocked the beacon script.  The trace still commits —
+                # these are exactly the impressions the audit dataset is
+                # missing, so their provenance matters most.
+                tracer.event("beacon.blocked", at=pageview.timestamp)
+                tracer.commit()
                 continue
             beacon_client.deliver(impression, observation)
+            tracer.commit()
             conversion = conversion_sim.simulate(
                 impression, observation.clicks, conversion_rng)
             if conversion is not None:
@@ -375,6 +400,15 @@ def run_shard(config: ExperimentConfig, shard: ShardSpec,
 
     # Post-flight: the vendor's silent fraud clawback on this shard's
     # deliveries, then the mergeable billing/report projections.
+    metrics.counter(
+        "trace.committed",
+        help="impression traces committed to the flight recorder"
+    ).inc(recorder.committed)
+    metrics.counter(
+        "trace.dropped",
+        help="committed traces evicted by the head/tail retention bound"
+    ).inc(recorder.dropped)
+
     server.billing.apply_fraud_refunds(server.impressions,
                                        rngs.stream(f"refunds/{scope}"))
     reporter = VendorReporter()
@@ -403,6 +437,7 @@ def run_shard(config: ExperimentConfig, shard: ShardSpec,
         connections_without_hello=collector.connections_without_hello,
         records_committed=collector.records_committed,
         metrics=metrics.snapshot(),
+        traces=recorder.traces(),
     )
 
 
@@ -460,7 +495,27 @@ def merge_shard_outputs(config: ExperimentConfig, world: World,
             ImpressionStore.loads_jsonl(output.store_jsonl,
                                         source=f"shard:{output.shard.scope}"))
 
-    enricher = Enricher(world.ipdb, world.resolver, world.universe.ranking)
+    # Fold the per-shard flight recorders in the same canonical order the
+    # impression list and the store were merged in, rewriting each trace's
+    # shard-local ids with the same cumulative offsets that renumbering
+    # produced — a merged trace is addressable by the ids the auditor
+    # actually sees.  Per-shard retention already bounded the sets, so the
+    # merged recorder holds everything the shards kept.
+    recorder = FlightRecorder(head=None, tail=0)
+    impression_offset = 0
+    record_offset = 0
+    for output in outputs:
+        for trace in output.traces:
+            recorder.record(replace(
+                trace,
+                impression_id=trace.impression_id + impression_offset,
+                record_id=None if trace.record_id is None
+                else trace.record_id + record_offset))
+        impression_offset += len(output.impressions)
+        record_offset += output.records_committed
+
+    enricher = Enricher(world.ipdb, world.resolver, world.universe.ranking,
+                        recorder=recorder)
     enricher.enrich_store(store)
     conversions = [event.anonymized(enricher.salt)
                    for output in outputs for event in output.conversions]
@@ -512,6 +567,7 @@ def merge_shard_outputs(config: ExperimentConfig, world: World,
         pageview_count=pageview_count,
         conversions=conversions,
         metrics=metrics,
+        recorder=recorder,
         stats={
             "pageviews": pageview_count,
             "delivered": len(server.impressions),

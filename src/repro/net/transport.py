@@ -18,6 +18,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.util.simclock import SimClock
 
 
@@ -133,10 +134,12 @@ class SimulatedNetwork:
     """
 
     def __init__(self, clock: SimClock, rng: random.Random,
-                 conditions: Optional[NetworkConditions] = None) -> None:
+                 conditions: Optional[NetworkConditions] = None,
+                 tracer: Tracer | None = None) -> None:
         self.clock = clock
         self.rng = rng
         self.conditions = conditions or NetworkConditions()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._next_connection_id = 1
         self._accept_callback: Optional[Callable[[Connection], None]] = None
         self.connections: list[Connection] = []
@@ -165,11 +168,13 @@ class SimulatedNetwork:
         the corresponding impression will simply be missing from the
         collector dataset, as §3.1 of the paper warns.
         """
-        if self.rng.random() < self.conditions.connect_failure_rate:
-            self.failed_connects += 1
-            return None
         if at_time is None:
             at_time = self.clock.now()
+        if self.rng.random() < self.conditions.connect_failure_rate:
+            self.failed_connects += 1
+            self.tracer.event("transport.connect", at=at_time,
+                              ok=False, reason="syn_lost")
+            return None
         latency = self.sample_latency()
         connection = Connection(
             client=client,
@@ -180,6 +185,10 @@ class SimulatedNetwork:
         )
         self._next_connection_id += 1
         self.connections.append(connection)
+        self.tracer.begin("transport.connect", at=at_time, ok=True,
+                          connection=connection.connection_id,
+                          latency=latency)
+        self.tracer.advance_to(connection.opened_at_server)
         if self._accept_callback is not None:
             self._accept_callback(connection)
         return connection
@@ -188,5 +197,7 @@ class SimulatedNetwork:
         """Roll for a mid-stream failure; closes the connection if it hits."""
         if connection.is_open and self.rng.random() < self.conditions.mid_stream_failure_rate:
             connection.close(now_server, initiator="network")
+            self.tracer.event("transport.drop", at=now_server,
+                              connection=connection.connection_id)
             return True
         return False

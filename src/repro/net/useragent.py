@@ -91,10 +91,14 @@ def parse_user_agent(raw: str) -> UserAgent:
     """Classify a UA string into (browser family, device class).
 
     Best-effort, mirroring how the paper's MySQL post-processing would bin
-    raw strings; unknown strings classify as ('unknown', 'desktop').
+    raw strings; unknown strings classify as ('unknown', 'desktop').  An
+    empty or whitespace-only UA — a real dataset always has a few — is
+    just the least informative unknown string, not an error: the audit
+    must keep the record (the UA is half of the user identity), so it
+    bins like any other unrecognised string.
     """
-    if not raw:
-        raise ValueError("empty User-Agent")
+    if not raw or not raw.strip():
+        return UserAgent(raw=raw, browser="unknown", device="desktop")
     lowered = raw.lower()
     if "phantomjs" in lowered or "headlesschrome" in lowered:
         browser = "headless"

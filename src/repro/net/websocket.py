@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 
 #: RFC 6455 §1.3 — fixed GUID appended to the client key before hashing.
 WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
@@ -212,10 +213,12 @@ class FrameDecoder:
 
     def __init__(self, require_masked: bool = False,
                  max_frame_size: Optional[int] = DEFAULT_MAX_FRAME_SIZE,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Tracer | None = None) -> None:
         self._buffer = bytearray()
         self.require_masked = require_masked
         self.max_frame_size = max_frame_size
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         # Sessions of one collector share a registry, so these counters
         # aggregate across every decoder the server creates.
         metrics = metrics if metrics is not None else MetricsRegistry()
@@ -268,6 +271,9 @@ class FrameDecoder:
                     raise WebSocketError(
                         "server received unmasked client frame")
                 self._frames_decoded.inc()
+                self.tracer.event("ws.frame", at=self.tracer.now,
+                                  opcode=frame.opcode.name.lower(),
+                                  payload_bytes=len(frame.payload))
                 yield frame
         finally:
             view.release()

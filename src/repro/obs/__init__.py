@@ -27,6 +27,26 @@ from repro.obs.timing import (
     sim_timer,
     wall_timer,
 )
+from repro.obs.trace import (
+    NULL_TRACER,
+    FlightRecorder,
+    NullTracer,
+    SpanRecord,
+    TraceError,
+    Tracer,
+    TraceRecord,
+    trace_id_for,
+)
+from repro.obs.traceio import (
+    AuditVerdict,
+    chrome_trace_events,
+    dumps_chrome_trace,
+    dumps_trace_jsonl,
+    loads_trace_jsonl,
+    render_explain,
+    render_trace_tree,
+    with_audit_spans,
+)
 
 __all__ = [
     "SIM",
@@ -45,4 +65,20 @@ __all__ = [
     "Timer",
     "sim_timer",
     "wall_timer",
+    "NULL_TRACER",
+    "FlightRecorder",
+    "NullTracer",
+    "SpanRecord",
+    "TraceError",
+    "Tracer",
+    "TraceRecord",
+    "trace_id_for",
+    "AuditVerdict",
+    "chrome_trace_events",
+    "dumps_chrome_trace",
+    "dumps_trace_jsonl",
+    "loads_trace_jsonl",
+    "render_explain",
+    "render_trace_tree",
+    "with_audit_spans",
 ]

@@ -43,7 +43,7 @@ def render_metrics(snapshot: MetricsSnapshot) -> str:
         rows.sort(key=lambda row: str(row[0]))
         sections.append(render_table(
             ["Metric", "Kind", "Value", "Detail"], rows,
-            title=_DOMAIN_TITLES[domain]))
+            title=_DOMAIN_TITLES[domain], right_align=(2,)))
     if not sections:
         return "(no metrics recorded)"
     return "\n\n".join(sections)

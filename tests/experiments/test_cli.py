@@ -58,6 +58,46 @@ class TestMain:
         assert "Brand safety" in out
         assert "Frequency capping" in out
 
+    def test_trace_export_flags(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        jsonl_path = tmp_path / "trace.jsonl"
+        code = main(["--scale", "0.01", "--seed", "5", "--table", "3",
+                     "--trace-json", str(trace_path),
+                     "--trace-jsonl", str(jsonl_path)])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "traces" in err
+
+        text = trace_path.read_text()
+        assert "Infinity" not in text
+        assert "NaN" not in text
+        document = json.loads(text)
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        assert any(event["ph"] == "X" and event["name"] == "collector.ingest"
+                   for event in events)
+
+        from repro.obs.traceio import loads_trace_jsonl
+        traces = loads_trace_jsonl(jsonl_path.read_text())
+        assert traces
+        assert all(trace.trace_id for trace in traces)
+
+    def test_explain_renders_receipt(self, capsys):
+        code = main(["explain", "17", "--scale", "0.01", "--seed", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Impression receipt" in out
+        assert "record #17" in out
+        assert "collector.ingest" in out
+        assert "audit.classify" in out
+        assert "Audit verdicts" in out
+
+    def test_explain_unknown_record_fails_cleanly(self, capsys):
+        code = main(["explain", "999999", "--scale", "0.01", "--seed", "5"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "999999" in err
+
     def test_metrics_flags(self, capsys, tmp_path):
         metrics_path = tmp_path / "metrics.json"
         code = main(["--scale", "0.01", "--seed", "6", "--table", "3",

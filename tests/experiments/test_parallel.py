@@ -77,6 +77,31 @@ class TestParallelEquivalence:
             == small_result.dataset.vendor_reports
         assert parallel_result.conversions == small_result.conversions
 
+    def test_trace_exports_byte_identical(self, small_result,
+                                          parallel_result):
+        # The tracing contract: the merged flight recorder folds shard
+        # traces in canonical plan order, so both export formats must come
+        # out byte-for-byte identical regardless of worker count.
+        from repro.obs.traceio import dumps_chrome_trace, dumps_trace_jsonl
+
+        serial_traces = small_result.recorder.traces()
+        parallel_traces = parallel_result.recorder.traces()
+        assert len(serial_traces) > 0
+        assert dumps_chrome_trace(parallel_traces) \
+            == dumps_chrome_trace(serial_traces)
+        assert dumps_trace_jsonl(parallel_traces) \
+            == dumps_trace_jsonl(serial_traces)
+
+    def test_every_store_record_has_a_trace(self, small_result):
+        recorder = small_result.recorder
+        for record in small_result.dataset.store:
+            trace = recorder.find_by_record(record.record_id)
+            assert trace is not None
+            names = {span.name for span in trace.spans}
+            assert {"impression", "auction.decide", "creative.serve",
+                    "beacon.render", "transport.connect", "collector.ingest",
+                    "enrich.geo"} <= names
+
     def test_sim_metrics_identical_field_for_field(self, small_result,
                                                    parallel_result):
         # The metrics contract: every sim-domain counter, gauge and

@@ -131,6 +131,56 @@ class TestCloseAndDuration:
         assert connection.close_initiator == "network"
 
 
+class TestFailurePaths:
+    """The failure surface the beacon/collector error model rests on."""
+
+    def test_server_send_after_close_rejected(self):
+        network, _ = make_network()
+        connection = network.connect(CLIENT, SERVER, at_time=1000.0)
+        connection.close(connection.opened_at_server + 5.0)
+        with pytest.raises(ConnectionClosed):
+            connection.server_send(b"x", connection.opened_at_server + 6.0)
+
+    def test_close_after_close_raises_connection_closed(self):
+        network, _ = make_network()
+        connection = network.connect(CLIENT, SERVER, at_time=1000.0)
+        connection.close(connection.opened_at_server + 1.0)
+        with pytest.raises(ConnectionClosed):
+            connection.close(connection.opened_at_server + 2.0,
+                             initiator="network")
+        # A rejected close must not overwrite the recorded initiator.
+        assert connection.close_initiator == "client"
+
+    @pytest.mark.parametrize("initiator", ["client", "network"])
+    def test_initiator_recorded_for_both_sides(self, initiator):
+        network, _ = make_network()
+        connection = network.connect(CLIENT, SERVER, at_time=1000.0)
+        connection.close(connection.opened_at_server + 1.0,
+                         initiator=initiator)
+        assert connection.close_initiator == initiator
+
+    def test_default_initiator_is_client(self):
+        network, _ = make_network()
+        connection = network.connect(CLIENT, SERVER, at_time=1000.0)
+        assert connection.close_initiator == ""
+        connection.close(connection.opened_at_server + 1.0)
+        assert connection.close_initiator == "client"
+
+    def test_server_side_instants_round_trip_into_exposure_time(self):
+        # The paper's measurement trick: exposure time IS the
+        # server-observed connection duration, so the open/close instants
+        # (including skew and latency) must reproduce it exactly.
+        network, _ = make_network(skew=3.5)
+        connection = network.connect(CLIENT, SERVER, at_time=1000.0)
+        exposure = 42.25
+        close_at = connection.opened_at_server + exposure
+        connection.close(close_at, initiator="client")
+        assert connection.closed_at_server == close_at
+        assert connection.duration == pytest.approx(exposure)
+        assert connection.duration == pytest.approx(
+            connection.closed_at_server - connection.opened_at_server)
+
+
 class TestMidStreamDrop:
     def test_never_drops_at_zero_rate(self):
         network, _ = make_network(mid_stream_failure_rate=0.0)

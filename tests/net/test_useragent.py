@@ -52,9 +52,16 @@ class TestParse:
         assert parsed.browser == "unknown"
         assert parsed.device == "desktop"
 
-    def test_empty_string_rejected(self):
-        with pytest.raises(ValueError):
-            parse_user_agent("")
+    @pytest.mark.parametrize("raw", ["", "   ", "\t\n"])
+    def test_empty_or_whitespace_classifies_as_unknown_desktop(self, raw):
+        # Regression: used to raise ValueError, contradicting the
+        # best-effort promise in the docstring — an auditable dataset
+        # keeps records with blank UAs rather than crashing on them.
+        parsed = parse_user_agent(raw)
+        assert parsed.browser == "unknown"
+        assert parsed.device == "desktop"
+        assert parsed.raw == raw
+        assert not parsed.is_headless
 
     def test_opera_not_misread_as_chrome(self):
         raw = ("Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 "
