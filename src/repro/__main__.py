@@ -12,6 +12,7 @@ Examples::
     python -m repro --dump-dataset impressions.jsonl
     python -m repro --trace-json trace.json # open in Perfetto
     python -m repro explain 17              # one impression's receipt
+    python -m repro bench --scale tiny      # performance harness
 """
 
 from __future__ import annotations
@@ -166,11 +167,119 @@ def run_explain(argv: list[str]) -> int:
     return 0
 
 
+def build_bench_parser() -> argparse.ArgumentParser:
+    from repro.experiments.bench import SCALE_PRESETS
+
+    presets = ", ".join(sorted(SCALE_PRESETS))
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Benchmark the experiment pipeline (serial, parallel, "
+                    "and reference-baseline runs plus the masking "
+                    "microbenchmark) and write a schema-validated "
+                    "BENCH.json.")
+    parser.add_argument("--scale", default="small",
+                        help=f"world scale: a float or a preset ({presets}); "
+                             f"default small")
+    parser.add_argument("--seed", type=int, default=2016,
+                        help="master seed (default 2016)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker processes for the parallel run "
+                             "(default 2)")
+    parser.add_argument("--out", metavar="PATH", default="BENCH.json",
+                        help="output document path (default BENCH.json)")
+    parser.add_argument("--skip-baseline", action="store_true",
+                        help="skip the reference-hot-path baseline run "
+                             "(faster; omits the speedup comparison)")
+    parser.add_argument("--in-process", action="store_true",
+                        help="run probes in this process instead of "
+                             "subprocesses (faster, less isolated RSS/wall "
+                             "numbers)")
+    parser.add_argument("--profile", type=int, nargs="?", const=25,
+                        default=None, metavar="N",
+                        help="also cProfile the serial scenario and print "
+                             "the top N functions by cumulative time "
+                             "(default N=25)")
+    parser.add_argument("--probe", action="store_true",
+                        help=argparse.SUPPRESS)  # internal subprocess mode
+    parser.add_argument("--reference", action="store_true",
+                        help=argparse.SUPPRESS)  # internal: baseline probe
+    return parser
+
+
+def run_bench(argv: list[str]) -> int:
+    """The ``bench`` subcommand: the repo's performance harness."""
+    import json
+
+    from repro.experiments import bench
+
+    args = build_bench_parser().parse_args(argv)
+    if args.jobs < 1:
+        print("--jobs must be at least 1", file=sys.stderr)
+        return 2
+    try:
+        scale = bench.resolve_scale(args.scale)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    if args.probe:
+        # Internal mode: one measurement in this (fresh) interpreter,
+        # reported as a single JSON object on stdout.
+        row = bench.run_probe(args.seed, scale, jobs=args.jobs,
+                              reference=args.reference)
+        print(json.dumps(row, sort_keys=True, allow_nan=False))
+        return 0
+
+    document = bench.run_bench(
+        seed=args.seed, scale=scale, jobs=args.jobs,
+        include_baseline=not args.skip_baseline,
+        subprocess_probes=not args.in_process,
+        progress=lambda message: print(message, file=sys.stderr))
+    path = bench.write_bench(document, args.out)
+
+    serial = next(run for run in document["runs"]
+                  if run["mode"] == "serial")
+    parallel = next((run for run in document["runs"]
+                     if run["mode"] == "parallel"), None)
+    lines = [
+        f"serial:   {serial['wall_seconds']:.2f}s wall, "
+        f"{serial['impressions_per_second']:.0f} impressions/s, "
+        f"peak RSS {serial['peak_rss_bytes'] / (1 << 20):.0f} MiB",
+    ]
+    if parallel is not None:
+        lines.append(
+            f"parallel: {parallel['wall_seconds']:.2f}s wall "
+            f"(--jobs {parallel['jobs']}), "
+            f"{parallel['impressions_per_second']:.0f} impressions/s, "
+            f"peak RSS {parallel['peak_rss_bytes'] / (1 << 20):.0f} MiB")
+    comparison = document.get("comparison")
+    if comparison is not None:
+        lines.append(
+            f"vs reference hot paths: "
+            f"{comparison['end_to_end_speedup']:.2f}x end-to-end, "
+            f"{comparison['impressions_per_second_gain']:.2f}x "
+            f"impressions/s")
+    mask = document["micro"]["mask_xor_64kib"]
+    lines.append(f"mask microbench (64 KiB): {mask['speedup']:.1f}x "
+                 f"({mask['optimized_mib_per_second']:.0f} vs "
+                 f"{mask['reference_mib_per_second']:.0f} MiB/s)")
+    print("\n".join(lines))
+    print(f"wrote {path}", file=sys.stderr)
+
+    if args.profile is not None:
+        print(f"profiling serial scenario (top {args.profile} by "
+              f"cumulative time) ...", file=sys.stderr)
+        print(bench.profile_scenario(args.seed, scale, top=args.profile))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "explain":
         return run_explain(argv[1:])
+    if argv and argv[0] == "bench":
+        return run_bench(argv[1:])
     args = build_parser().parse_args(argv)
     if args.jobs < 1:
         print("--jobs must be at least 1", file=sys.stderr)

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from repro.adnetwork.campaign import CampaignSpec
 from repro.taxonomy.lexicon import Lexicon
 from repro.taxonomy.tree import TaxonomyTree
+from repro.util import hotpath
 from repro.web.publisher import Publisher
 
 
@@ -91,15 +92,34 @@ class MatchEngine:
         #: visitor — the network's interest profiles do not cover everyone.
         self.behavioural_rate = behavioural_rate
         self.vertical_radius_edges = vertical_radius_edges
-        self._campaign_topics: dict[str, tuple[str, ...]] = {}
         self._contextual_cache: dict[tuple[str, str], bool] = {}
+        #: (campaign_id, radius) → union of the campaign topics'
+        #: taxonomy neighbourhoods; built from the tree-level
+        #: ``nodes_within`` memo that the context audit shares.
+        self._neighborhoods: dict[tuple[str, int], frozenset[str]] = {}
 
     def campaign_topics(self, campaign: CampaignSpec) -> tuple[str, ...]:
-        """The campaign keywords resolved to taxonomy nodes (cached)."""
-        if campaign.campaign_id not in self._campaign_topics:
-            topics = tuple(self.lexicon.topics_of(list(campaign.keywords)))
-            self._campaign_topics[campaign.campaign_id] = topics
-        return self._campaign_topics[campaign.campaign_id]
+        """The campaign keywords resolved to taxonomy nodes.
+
+        Resolution is memoised inside the shared :class:`Lexicon`, so the
+        matching engine and the context audit resolve each campaign's
+        keyword list exactly once between them.
+        """
+        return self.lexicon.campaign_topics(campaign.campaign_id,
+                                            campaign.keywords)
+
+    def _campaign_neighborhood(self, campaign: CampaignSpec,
+                               radius: int) -> frozenset[str]:
+        """Union of ``nodes_within(topic, radius)`` over campaign topics."""
+        key = (campaign.campaign_id, radius)
+        cached = self._neighborhoods.get(key)
+        if cached is None:
+            nodes: set[str] = set()
+            for topic in self.campaign_topics(campaign):
+                nodes.update(self.tree.nodes_within(topic, radius))
+            cached = frozenset(nodes)
+            self._neighborhoods[key] = cached
+        return cached
 
     def contextual_match(self, campaign: CampaignSpec,
                          publisher: Publisher) -> bool:
@@ -109,21 +129,37 @@ class MatchEngine:
             self._contextual_cache[key] = self._contextual(campaign, publisher)
         return self._contextual_cache[key]
 
-    def _contextual(self, campaign: CampaignSpec, publisher: Publisher) -> bool:
+    def _contextual_reference(self, campaign: CampaignSpec,
+                              publisher: Publisher) -> bool:
+        """Reference nested-loop classifier (the equivalence oracle)."""
         if any(publisher.matches_keyword(keyword)
                for keyword in campaign.keywords):
             return True
         campaign_topics = self.campaign_topics(campaign)
         for campaign_topic in campaign_topics:
             for publisher_topic in publisher.topics:
-                if self.tree.path_length(campaign_topic,
-                                         publisher_topic) <= self.vertical_radius_edges:
+                if self.tree.path_length_uncached(
+                        campaign_topic,
+                        publisher_topic) <= self.vertical_radius_edges:
                     return True
         return False
 
-    def behavioural_match(self, campaign: CampaignSpec,
-                          interests: tuple[str, ...]) -> bool:
-        """Does the visitor's recent browsing profile match the campaign?"""
+    def _contextual(self, campaign: CampaignSpec, publisher: Publisher) -> bool:
+        if hotpath._REFERENCE:
+            return self._contextual_reference(campaign, publisher)
+        if any(publisher.matches_keyword(keyword)
+               for keyword in campaign.keywords):
+            return True
+        # path_length(t, p) <= radius for some campaign topic t iff p is
+        # in the precomputed neighbourhood union — one set probe per
+        # publisher topic instead of a nested path computation.
+        neighborhood = self._campaign_neighborhood(
+            campaign, self.vertical_radius_edges)
+        return not neighborhood.isdisjoint(publisher.topics)
+
+    def behavioural_match_reference(self, campaign: CampaignSpec,
+                                    interests: tuple[str, ...]) -> bool:
+        """Reference nested-loop profile matcher (the equivalence oracle)."""
         campaign_topics = self.campaign_topics(campaign)
         if not campaign_topics or not interests:
             return False
@@ -134,9 +170,23 @@ class MatchEngine:
             # Interests one edge away (e.g. 'la-liga' vs keyword 'football')
             # also trip the behavioural signal.
             for interest in interest_set:
-                if self.tree.path_length(topic, interest) <= 1:
+                if self.tree.path_length_uncached(topic, interest) <= 1:
                     return True
         return False
+
+    def behavioural_match(self, campaign: CampaignSpec,
+                          interests: tuple[str, ...]) -> bool:
+        """Does the visitor's recent browsing profile match the campaign?
+
+        An interest matches when it is a campaign topic or one taxonomy
+        edge away from one, i.e. exactly when it falls in the campaign's
+        radius-1 neighbourhood — a single set intersection per call.
+        """
+        if hotpath._REFERENCE:
+            return self.behavioural_match_reference(campaign, interests)
+        if not interests or not self.campaign_topics(campaign):
+            return False
+        return not self._campaign_neighborhood(campaign, 1).isdisjoint(interests)
 
     def decide(self, campaign: CampaignSpec, publisher: Publisher,
                interests: tuple[str, ...], rng: random.Random,

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.audit.dataset import AuditDataset
 from repro.taxonomy.similarity import max_lch_similarity, similarity_threshold
+from repro.util import hotpath
 from repro.util.stats import Fraction2
 
 
@@ -60,6 +61,7 @@ class ContextAudit:
         self._threshold = similarity_threshold(
             dataset.lexicon.tree, self.criterion.max_path_edges)
         self._cache: dict[tuple[str, str], bool] = {}
+        self._neighborhoods: dict[str, frozenset[str]] = {}
 
     @property
     def lch_threshold(self) -> float:
@@ -77,7 +79,8 @@ class ContextAudit:
             self._cache[key] = self._judge(campaign_id, domain)
         return self._cache[key]
 
-    def _judge(self, campaign_id: str, domain: str) -> bool:
+    def _judge_reference(self, campaign_id: str, domain: str) -> bool:
+        """Reference judge: full LCH cross-product per pair (the oracle)."""
         campaign = self.dataset.campaigns[campaign_id]
         info = self.dataset.publisher_info(domain)
         if info is None:
@@ -98,6 +101,46 @@ class ContextAudit:
                 if score >= self._threshold:
                     return True
         return False
+
+    def _judge(self, campaign_id: str, domain: str) -> bool:
+        if hotpath._REFERENCE:
+            return self._judge_reference(campaign_id, domain)
+        campaign = self.dataset.campaigns[campaign_id]
+        info = self.dataset.publisher_info(domain)
+        if info is None:
+            return False
+        criterion = self.criterion
+        if criterion.use_keyword_match:
+            if any(info.matches_keyword(keyword)
+                   for keyword in campaign.keywords):
+                return True
+        if criterion.use_semantic_match:
+            # ``max LCH >= threshold`` over the topic cross-product is
+            # exactly ``some pair within max_path_edges edges`` (LCH is a
+            # strictly decreasing function of path length, and the
+            # threshold is the score at max_path_edges), so the semantic
+            # rule is one intersection against the campaign topics'
+            # taxonomy neighbourhood — the tree-level memo the matching
+            # engine shares — instead of an LCH cross-product per pair.
+            neighborhood = self._campaign_neighborhood(campaign_id)
+            if any(topic in neighborhood for topic in info.topics):
+                return True
+        return False
+
+    def _campaign_neighborhood(self, campaign_id: str) -> frozenset[str]:
+        """Radius-``max_path_edges`` neighbourhood of the campaign topics."""
+        cached = self._neighborhoods.get(campaign_id)
+        if cached is None:
+            lexicon = self.dataset.lexicon
+            campaign = self.dataset.campaigns[campaign_id]
+            nodes: set[str] = set()
+            for topic in lexicon.campaign_topics(campaign_id,
+                                                 campaign.keywords):
+                nodes.update(lexicon.tree.nodes_within(
+                    topic, self.criterion.max_path_edges))
+            cached = frozenset(nodes)
+            self._neighborhoods[campaign_id] = cached
+        return cached
 
     def assess(self, campaign_id: str) -> ContextResult:
         """The Table 2 comparison for one campaign."""

@@ -12,9 +12,10 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.collector.store import ImpressionStore
-from repro.geo.resolver import DataCenterResolver
-from repro.geo.ipdb import GeoIpDatabase
+from repro.geo.ipdb import GeoIpDatabase, IpRecord
+from repro.geo.resolver import DataCenterResolver, DcVerdict
 from repro.obs.trace import FlightRecorder
+from repro.util import hotpath
 from repro.util.hashing import anonymize_ip
 from repro.web.ranking import RankingService
 
@@ -33,6 +34,25 @@ class Enricher:
         # so it extends already-committed traces via recorder annotation
         # rather than through a live tracer.
         self.recorder = recorder
+        # ip → (geo record, cascade verdict, anonymised token).  The same
+        # device produces many impressions, so each distinct address runs
+        # the trie walk + deny-list cascade + salted hash exactly once per
+        # enrichment pass.  Verdict replay keeps the resolver's
+        # stage-count bookkeeping identical to the uncached cascade.
+        self._ip_memo: dict[str, tuple["IpRecord | None", DcVerdict, str]] = {}
+
+    def _resolve_ip(self, ip: str) -> tuple["IpRecord | None", DcVerdict, str]:
+        if hotpath._REFERENCE:
+            return (self.ipdb.lookup(ip), self.resolver.classify(ip),
+                    anonymize_ip(ip, salt=self.salt))
+        cached = self._ip_memo.get(ip)
+        if cached is None:
+            cached = (self.ipdb.lookup(ip), self.resolver.classify(ip),
+                      anonymize_ip(ip, salt=self.salt))
+            self._ip_memo[ip] = cached
+        else:
+            self.resolver.stage_counts[cached[1].stage] += 1
+        return cached
 
     def enrich_store(self, store: ImpressionStore) -> int:
         """Enrich + anonymise every not-yet-enriched record; returns count.
@@ -44,12 +64,11 @@ class Enricher:
         for index, record in enumerate(store):
             if record.ip_token:
                 continue
-            ip_record = self.ipdb.lookup(record.ip)
-            verdict = self.resolver.classify(record.ip)
+            ip_record, verdict, ip_token = self._resolve_ip(record.ip)
             rank = self.ranking.rank_of(record.domain)
             store.replace_at(index, replace(
                 record,
-                ip_token=anonymize_ip(record.ip, salt=self.salt),
+                ip_token=ip_token,
                 ip="",
                 provider=ip_record.provider if ip_record else "",
                 country=ip_record.country if ip_record else "",

@@ -20,8 +20,17 @@ import urllib.parse
 from dataclasses import dataclass
 
 from repro.beacon.events import BeaconObservation, InteractionEvent, InteractionKind
+from repro.util import hotpath
 
 _VERSION = "1"
+
+#: Characters ``urllib.parse.quote(value, safe="")`` passes through
+#: untouched.  A value made only of these needs no codec work at all —
+#: which covers every campaign id, creative id and most URLs the beacon
+#: actually sends — so both directions fast-path on this set.
+_ALWAYS_SAFE = ("ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+                "abcdefghijklmnopqrstuvwxyz"
+                "0123456789_.-~")
 
 
 class PayloadError(Exception):
@@ -51,12 +60,31 @@ class InteractionMessage:
     offset_seconds: float
 
 
+def _quote_reference(value: str) -> str:
+    return urllib.parse.quote(value, safe="")
+
+
+def _unquote_reference(value: str) -> str:
+    return urllib.parse.unquote(value)
+
+
 def _quote(value: str) -> str:
+    if hotpath._REFERENCE:
+        return _quote_reference(value)
+    # str.strip with a chars argument removes characters from that set at
+    # both ends; an empty result therefore proves every character is in
+    # the always-safe set, in one C-level scan.
+    if not value.strip(_ALWAYS_SAFE):
+        return value
     return urllib.parse.quote(value, safe="")
 
 
 def _unquote(value: str) -> str:
-    return urllib.parse.unquote(value)
+    # unquote only ever rewrites %XX escapes, so a value without a
+    # percent sign round-trips unchanged.
+    if hotpath._REFERENCE or "%" in value:
+        return _unquote_reference(value)
+    return value
 
 
 def encode_hello(observation: BeaconObservation) -> str:
@@ -75,7 +103,15 @@ def encode_hello(observation: BeaconObservation) -> str:
 
 
 def encode_interaction(event: InteractionEvent) -> str:
-    """Serialise one interaction event."""
+    """Serialise one interaction event.
+
+    The timestamp is quantised to the wire format's millisecond
+    resolution: ``t`` is rendered with ``{offset:.3f}``, which rounds
+    half-to-even, so ``parse_message(encode_interaction(e))`` recovers
+    the offset to within 0.5 ms (exactly, for offsets already on a
+    millisecond grid).  Sub-millisecond precision is deliberately not
+    carried on the wire — the beacon's clock never resolves finer.
+    """
     return f"EVT|kind={event.kind.value}|t={event.offset_seconds:.3f}"
 
 
@@ -91,10 +127,47 @@ def _fields(parts: list[str]) -> dict[str, str]:
     return fields
 
 
+def _parse_evt_fast(raw: str) -> "InteractionMessage | None":
+    """Fast path for the canonical ``EVT|kind=K|t=T`` shape.
+
+    EVT is the high-volume message (several per impression), so the
+    common three-field form is decoded with one ``partition`` instead of
+    a full split + field-dict build.  Returns None — falling back to the
+    strict generic parser — whenever the message deviates from the
+    canonical shape, so error semantics (duplicate fields, malformed
+    pairs) are byte-identical to the reference path.
+    """
+    rest = raw[9:]  # past "EVT|kind="
+    kind_value, separator, t_value = rest.partition("|t=")
+    if not separator or "|" in kind_value or "|" in t_value:
+        return None
+    try:
+        kind = InteractionKind(kind_value)
+    except ValueError:
+        raise PayloadError(
+            f"unknown interaction kind: {kind_value!r}") from None
+    try:
+        offset = float(t_value)
+    except ValueError:
+        raise PayloadError(f"bad EVT timestamp: {t_value!r}") from None
+    if offset < 0:
+        raise PayloadError("negative EVT timestamp")
+    return InteractionMessage(kind=kind, offset_seconds=offset)
+
+
 def parse_message(raw: str) -> HelloMessage | InteractionMessage:
-    """Parse one beacon message; raises :class:`PayloadError` when invalid."""
+    """Parse one beacon message; raises :class:`PayloadError` when invalid.
+
+    ``EVT`` timestamps are read back at the wire's millisecond
+    quantisation (see :func:`encode_interaction`): the parsed
+    ``offset_seconds`` is within 0.5 ms of the value the beacon encoded.
+    """
     if not raw:
         raise PayloadError("empty message")
+    if not hotpath._REFERENCE and raw.startswith("EVT|kind="):
+        message = _parse_evt_fast(raw)
+        if message is not None:
+            return message
     parts = raw.split("|")
     tag = parts[0]
     if tag == "HELLO":

@@ -30,9 +30,10 @@ from repro.experiments.parallel import (
     ParallelExperimentRunner,
     run_paper_experiment_parallel,
 )
-from repro.experiments import tables, figures
+from repro.experiments import bench, tables, figures
 
 __all__ = [
+    "bench",
     "ExperimentConfig",
     "CampaignPlan",
     "PeriodPlan",

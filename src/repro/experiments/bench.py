@@ -1,0 +1,398 @@
+"""``python -m repro bench`` — the repository's performance harness.
+
+Measurement systems only scale to real ad-traffic volumes when their
+per-impression path is cheap, so this repo treats throughput as a tested
+artifact: the bench harness runs the paper's scenario at a chosen world
+scale — once serial, once with ``--jobs N``, and (by default) once more
+with every optimized hot path swapped for its retained reference
+implementation — and writes the measurements to a schema-validated
+``BENCH.json`` at the repository root.  That file is the performance
+trajectory: future PRs regenerate it and compare against the committed
+numbers.
+
+Each scenario probe runs in its own subprocess so wall time and peak RSS
+are clean per mode (no shared allocator high-water marks, no warmed
+caches leaking between modes).  The reference probe flips
+``REPRO_REFERENCE_HOTPATH`` semantics via ``--reference``, which drives
+:mod:`repro.util.hotpath`.
+
+Alongside the scenario probes the harness runs one microbenchmark pinned
+by the acceptance bar that motivated this harness: RFC 6455 masking of a
+64 KiB payload, optimized bulk-XOR vs. the reference per-byte loop.
+
+``--profile N`` additionally runs the serial scenario in-process under
+:mod:`cProfile` and dumps the top *N* functions by cumulative time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+import timeit
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments.config import paper_experiment
+from repro.experiments.parallel import ParallelExperimentRunner
+from repro.obs.metrics import WALL, MetricsSnapshot
+from repro.util import hotpath
+
+#: Document format identifier; bump when the layout changes shape.
+BENCH_SCHEMA = "repro-bench/1"
+
+#: Named world scales for the common invocations.  ``tiny`` is the CI
+#: smoke size; numbers are the ``--scale`` world factor.
+SCALE_PRESETS: dict[str, float] = {
+    "tiny": 0.01,
+    "small": 0.02,
+    "medium": 0.05,
+}
+
+_RUN_MODES = ("serial", "parallel", "reference-serial")
+
+_MASK_PAYLOAD_BYTES = 64 * 1024
+
+
+class BenchSchemaError(ValueError):
+    """A BENCH document failed structural validation."""
+
+
+def resolve_scale(text: str) -> float:
+    """Map a ``--scale`` argument (preset name or float) to a world scale."""
+    if text in SCALE_PRESETS:
+        return SCALE_PRESETS[text]
+    try:
+        scale = float(text)
+    except ValueError:
+        presets = ", ".join(sorted(SCALE_PRESETS))
+        raise ValueError(
+            f"--scale must be a float or one of: {presets}") from None
+    return scale
+
+
+# ---------------------------------------------------------------------- #
+# scenario probes
+# ---------------------------------------------------------------------- #
+
+
+def _peak_rss_bytes() -> int:
+    """High-water resident set of this process and its children, in bytes."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX host: report unknown as 0
+        return 0
+    factor = 1 if sys.platform == "darwin" else 1024
+    peak = max(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+               resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
+    return int(peak) * factor
+
+
+def _stage_wall_seconds(metrics: MetricsSnapshot) -> dict:
+    """Per-stage wall timings: every wall-domain histogram, summarised."""
+    stages = {}
+    for histogram in metrics.restrict(WALL).histograms:
+        mean = histogram.sum / histogram.total if histogram.total else 0.0
+        stages[histogram.name] = {
+            "count": histogram.total,
+            "sum_seconds": histogram.sum,
+            "mean_seconds": mean,
+        }
+    return stages
+
+
+def run_probe(seed: int, scale: float, jobs: int = 1,
+              reference: bool = False) -> dict:
+    """Run one scenario measurement in this process and return its row.
+
+    ``reference=True`` flips every optimized hot path to its retained
+    reference implementation for the duration of the run — the
+    pre-optimization baseline, measured on identical work.
+    """
+    if reference and jobs != 1:
+        raise ValueError("the reference baseline is measured serial-only")
+    mode = "reference-serial" if reference \
+        else ("serial" if jobs == 1 else "parallel")
+    with hotpath.reference_hotpaths(reference):
+        started = time.perf_counter()
+        result = ParallelExperimentRunner(
+            paper_experiment(seed=seed, scale=scale), jobs=jobs).run()
+        wall_seconds = time.perf_counter() - started
+    pageviews = result.stats["pageviews"]
+    delivered = result.stats["delivered"]
+    return {
+        "mode": mode,
+        "jobs": jobs,
+        "reference": reference,
+        "wall_seconds": wall_seconds,
+        "pageviews": pageviews,
+        "delivered": delivered,
+        "logged": result.stats["logged"],
+        "pageviews_per_second": pageviews / wall_seconds,
+        "impressions_per_second": delivered / wall_seconds,
+        "peak_rss_bytes": _peak_rss_bytes(),
+        "stage_wall_seconds": _stage_wall_seconds(result.metrics),
+    }
+
+
+def _probe_in_subprocess(seed: int, scale: float, jobs: int,
+                         reference: bool) -> dict:
+    """Run one probe in a fresh interpreter for clean wall/RSS numbers."""
+    command = [sys.executable, "-m", "repro", "bench", "--probe",
+               "--seed", str(seed), "--scale", repr(scale),
+               "--jobs", str(jobs)]
+    if reference:
+        command.append("--reference")
+    env = dict(os.environ)
+    package_root = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = package_root + (os.pathsep + existing
+                                        if existing else "")
+    completed = subprocess.run(command, capture_output=True, text=True,
+                               env=env)
+    if completed.returncode != 0:
+        raise RuntimeError(
+            f"bench probe failed (exit {completed.returncode}):\n"
+            f"{completed.stderr.strip()}")
+    return json.loads(completed.stdout)
+
+
+# ---------------------------------------------------------------------- #
+# microbenchmarks
+# ---------------------------------------------------------------------- #
+
+
+def mask_microbenchmark(payload_bytes: int = _MASK_PAYLOAD_BYTES) -> dict:
+    """Optimized vs. reference RFC 6455 masking throughput.
+
+    Deterministic payload/key; best-of-3 timing per implementation, so a
+    scheduler hiccup cannot manufacture (or hide) a regression.
+    """
+    from repro.net.websocket import _apply_mask, _apply_mask_reference
+
+    payload = bytes(index & 0xFF for index in range(payload_bytes))
+    mask = b"\x37\xfa\x21\x3d"
+    assert _apply_mask(payload, mask) == _apply_mask_reference(payload, mask)
+
+    optimized_number, reference_number = 200, 10
+    optimized_seconds = min(timeit.repeat(
+        lambda: _apply_mask(payload, mask),
+        number=optimized_number, repeat=3)) / optimized_number
+    reference_seconds = min(timeit.repeat(
+        lambda: _apply_mask_reference(payload, mask),
+        number=reference_number, repeat=3)) / reference_number
+    mib = payload_bytes / (1024.0 * 1024.0)
+    return {
+        "payload_bytes": payload_bytes,
+        "optimized_seconds_per_op": optimized_seconds,
+        "reference_seconds_per_op": reference_seconds,
+        "optimized_mib_per_second": mib / optimized_seconds,
+        "reference_mib_per_second": mib / reference_seconds,
+        "speedup": reference_seconds / optimized_seconds,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# the BENCH document
+# ---------------------------------------------------------------------- #
+
+
+def run_bench(seed: int = 2016, scale: float = SCALE_PRESETS["small"],
+              jobs: int = 2, include_baseline: bool = True,
+              subprocess_probes: bool = True,
+              progress=None) -> dict:
+    """Measure the scenario (serial, parallel, optional reference baseline)
+    plus the masking microbenchmark; returns the validated BENCH document.
+
+    ``subprocess_probes=False`` runs every probe in-process (faster, used
+    by tests); the default isolates each probe in a fresh interpreter.
+    """
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    def probe(probe_jobs: int, reference: bool) -> dict:
+        if subprocess_probes:
+            return _probe_in_subprocess(seed, scale, probe_jobs, reference)
+        return run_probe(seed, scale, jobs=probe_jobs, reference=reference)
+
+    note(f"probing serial run (scale={scale}) ...")
+    serial = probe(1, False)
+    note(f"probing parallel run (--jobs {jobs}) ...")
+    parallel = probe(jobs, False)
+    runs = [serial, parallel]
+
+    document = {
+        "schema": BENCH_SCHEMA,
+        "created_unix": time.time(),
+        "python": sys.version.split()[0],
+        "platform": sys.platform,
+        "seed": seed,
+        "scale": scale,
+        "jobs": jobs,
+        "shard_slices": paper_experiment(seed=seed, scale=scale).shard_slices,
+        "runs": runs,
+    }
+    if include_baseline:
+        note("probing reference baseline (pre-optimization hot paths) ...")
+        baseline = probe(1, True)
+        runs.append(baseline)
+        document["comparison"] = {
+            "end_to_end_speedup": (baseline["wall_seconds"]
+                                   / serial["wall_seconds"]),
+            "impressions_per_second_gain": (
+                serial["impressions_per_second"]
+                / baseline["impressions_per_second"]),
+        }
+    note("running masking microbenchmark ...")
+    document["micro"] = {"mask_xor_64kib": mask_microbenchmark()}
+    validate_bench_document(document)
+    return document
+
+
+def dumps_bench(document: dict) -> str:
+    """Strict-JSON serialisation of a BENCH document (validates first)."""
+    validate_bench_document(document)
+    return json.dumps(document, indent=2, sort_keys=True,
+                      allow_nan=False) + "\n"
+
+
+def write_bench(document: dict, path: "str | Path") -> Path:
+    """Validate and write *document*; returns the path written."""
+    path = Path(path)
+    path.write_text(dumps_bench(document), encoding="utf-8")
+    return path
+
+
+# ---------------------------------------------------------------------- #
+# schema validation
+# ---------------------------------------------------------------------- #
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise BenchSchemaError(message)
+
+
+def _check_number(value, name: str, minimum: Optional[float] = None,
+                  strict: bool = False) -> None:
+    _require(isinstance(value, (int, float)) and not isinstance(value, bool),
+             f"{name} must be a number, got {value!r}")
+    if minimum is not None:
+        if strict:
+            _require(value > minimum, f"{name} must be > {minimum}: {value!r}")
+        else:
+            _require(value >= minimum,
+                     f"{name} must be >= {minimum}: {value!r}")
+
+
+def _check_int(value, name: str, minimum: int = 0) -> None:
+    _require(isinstance(value, int) and not isinstance(value, bool),
+             f"{name} must be an integer, got {value!r}")
+    _require(value >= minimum, f"{name} must be >= {minimum}: {value!r}")
+
+
+def _check_run(run: dict, name: str) -> None:
+    _require(isinstance(run, dict), f"{name} must be an object")
+    _require(run.get("mode") in _RUN_MODES,
+             f"{name}.mode must be one of {_RUN_MODES}: {run.get('mode')!r}")
+    _check_int(run.get("jobs"), f"{name}.jobs", minimum=1)
+    _require(isinstance(run.get("reference"), bool),
+             f"{name}.reference must be a boolean")
+    _check_number(run.get("wall_seconds"), f"{name}.wall_seconds",
+                  minimum=0.0, strict=True)
+    for field in ("pageviews", "delivered", "logged", "peak_rss_bytes"):
+        _check_int(run.get(field), f"{name}.{field}")
+    for field in ("pageviews_per_second", "impressions_per_second"):
+        _check_number(run.get(field), f"{name}.{field}", minimum=0.0)
+    stages = run.get("stage_wall_seconds")
+    _require(isinstance(stages, dict),
+             f"{name}.stage_wall_seconds must be an object")
+    for stage, summary in stages.items():
+        _require(isinstance(stage, str) and stage,
+                 f"{name}.stage_wall_seconds keys must be non-empty strings")
+        _require(isinstance(summary, dict),
+                 f"{name}.stage_wall_seconds[{stage!r}] must be an object")
+        _check_int(summary.get("count"),
+                   f"{name}.stage_wall_seconds[{stage!r}].count")
+        for field in ("sum_seconds", "mean_seconds"):
+            _check_number(summary.get(field),
+                          f"{name}.stage_wall_seconds[{stage!r}].{field}",
+                          minimum=0.0)
+
+
+def validate_bench_document(document: dict) -> None:
+    """Structural validation of a BENCH document; raises on any violation.
+
+    Strict by design: the file is the cross-PR performance contract, so a
+    malformed document should fail the writer (and the CI smoke job), not
+    silently degrade the trajectory.
+    """
+    _require(isinstance(document, dict), "document must be an object")
+    _require(document.get("schema") == BENCH_SCHEMA,
+             f"schema must be {BENCH_SCHEMA!r}: {document.get('schema')!r}")
+    _check_number(document.get("created_unix"), "created_unix", minimum=0.0)
+    for field in ("python", "platform"):
+        _require(isinstance(document.get(field), str) and document[field],
+                 f"{field} must be a non-empty string")
+    _check_int(document.get("seed"), "seed")
+    _check_number(document.get("scale"), "scale", minimum=0.0, strict=True)
+    _check_int(document.get("jobs"), "jobs", minimum=1)
+    _check_int(document.get("shard_slices"), "shard_slices", minimum=1)
+
+    runs = document.get("runs")
+    _require(isinstance(runs, list) and runs, "runs must be a non-empty list")
+    for index, run in enumerate(runs):
+        _check_run(run, f"runs[{index}]")
+    modes = [run["mode"] for run in runs]
+    _require(modes.count("serial") == 1,
+             "runs must contain exactly one serial run")
+    for mode in ("parallel", "reference-serial"):
+        _require(modes.count(mode) <= 1,
+                 f"runs must contain at most one {mode} run")
+
+    comparison = document.get("comparison")
+    if comparison is not None:
+        _require(isinstance(comparison, dict), "comparison must be an object")
+        _require("reference-serial" in modes,
+                 "comparison requires a reference-serial run")
+        for field in ("end_to_end_speedup", "impressions_per_second_gain"):
+            _check_number(comparison.get(field), f"comparison.{field}",
+                          minimum=0.0, strict=True)
+
+    micro = document.get("micro")
+    _require(isinstance(micro, dict) and "mask_xor_64kib" in micro,
+             "micro.mask_xor_64kib is required")
+    mask = micro["mask_xor_64kib"]
+    _require(isinstance(mask, dict), "micro.mask_xor_64kib must be an object")
+    _check_int(mask.get("payload_bytes"), "micro.mask_xor_64kib.payload_bytes",
+               minimum=1)
+    for field in ("optimized_seconds_per_op", "reference_seconds_per_op",
+                  "optimized_mib_per_second", "reference_mib_per_second",
+                  "speedup"):
+        _check_number(mask.get(field), f"micro.mask_xor_64kib.{field}",
+                      minimum=0.0, strict=True)
+
+
+# ---------------------------------------------------------------------- #
+# profiling
+# ---------------------------------------------------------------------- #
+
+
+def profile_scenario(seed: int, scale: float, top: int = 25) -> str:
+    """cProfile the serial scenario in-process; returns the top-N report."""
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    ParallelExperimentRunner(paper_experiment(seed=seed, scale=scale),
+                             jobs=1).run()
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    return buffer.getvalue()

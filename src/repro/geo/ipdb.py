@@ -13,6 +13,13 @@ from typing import Optional
 
 from repro.geo.providers import Provider, ProviderKind, ProviderRegistry
 from repro.net.cidrtrie import CidrTrie
+from repro.util import hotpath
+
+#: Bound on the per-database answer memo; a full-scale world sees a few
+#: hundred thousand distinct addresses, so the table is cleared (not
+#: LRU-evicted — lookups are uniform enough that simple works) on
+#: overflow rather than growing without limit.
+_MAX_CACHED_LOOKUPS = 1 << 17
 
 
 @dataclass(frozen=True)
@@ -47,12 +54,38 @@ class GeoIpDatabase:
         for provider in registry.providers:
             for block in provider.blocks:
                 self._trie.insert(block, provider)
+        # ip → (provider, record) memo.  The database is immutable after
+        # construction and lookups repeat heavily (one per pageview for
+        # geo targeting, again per record during enrichment), so answers
+        # are cached whole.
+        self._answer_cache: dict[
+            str, tuple[Optional[Provider], Optional[IpRecord]]] = {}
 
     def __len__(self) -> int:
         return len(self._trie)
 
+    def _answer(self, ip: str) -> tuple[Optional[Provider], Optional[IpRecord]]:
+        try:
+            return self._answer_cache[ip]
+        except KeyError:
+            pass
+        if len(self._answer_cache) >= _MAX_CACHED_LOOKUPS:
+            self._answer_cache.clear()
+        provider = self._trie.lookup(ip)
+        record = None if provider is None else IpRecord(
+            ip=ip, provider=provider.name,
+            country=provider.country, kind=provider.kind)
+        self._answer_cache[ip] = (provider, record)
+        return provider, record
+
     def lookup(self, ip: str) -> Optional[IpRecord]:
         """Resolve *ip*; None when the address is unallocated space."""
+        if hotpath._REFERENCE:
+            return self.lookup_uncached(ip)
+        return self._answer(ip)[1]
+
+    def lookup_uncached(self, ip: str) -> Optional[IpRecord]:
+        """Reference longest-prefix-match walk (the equivalence oracle)."""
         provider = self._trie.lookup(ip)
         if provider is None:
             return None
@@ -61,7 +94,9 @@ class GeoIpDatabase:
 
     def provider_of(self, ip: str) -> Optional[Provider]:
         """The full provider object owning *ip*, if any."""
-        return self._trie.lookup(ip)
+        if hotpath._REFERENCE:
+            return self._trie.lookup(ip)
+        return self._answer(ip)[0]
 
     def country_of(self, ip: str) -> Optional[str]:
         """Country code for *ip* (geo-targeting uses this)."""

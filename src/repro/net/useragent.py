@@ -8,8 +8,11 @@ Generation produces realistic 2016-era UA strings; parsing inverts them.
 
 from __future__ import annotations
 
+import functools
 import random
 from dataclasses import dataclass
+
+from repro.util import hotpath
 
 _BROWSER_WEIGHTS = [
     ("chrome", 0.52),
@@ -87,16 +90,8 @@ def generate_user_agent(rng: random.Random, device: str = "desktop",
     raise ValueError(f"unknown browser family: {browser!r}")
 
 
-def parse_user_agent(raw: str) -> UserAgent:
-    """Classify a UA string into (browser family, device class).
-
-    Best-effort, mirroring how the paper's MySQL post-processing would bin
-    raw strings; unknown strings classify as ('unknown', 'desktop').  An
-    empty or whitespace-only UA — a real dataset always has a few — is
-    just the least informative unknown string, not an error: the audit
-    must keep the record (the UA is half of the user identity), so it
-    bins like any other unrecognised string.
-    """
+def parse_user_agent_uncached(raw: str) -> UserAgent:
+    """Reference single-shot classification (see :func:`parse_user_agent`)."""
     if not raw or not raw.strip():
         return UserAgent(raw=raw, browser="unknown", device="desktop")
     lowered = raw.lower()
@@ -119,3 +114,32 @@ def parse_user_agent(raw: str) -> UserAgent:
     else:
         device = "desktop"
     return UserAgent(raw=raw, browser=browser, device=device)
+
+
+_parse_user_agent_cached = functools.lru_cache(maxsize=8192)(
+    parse_user_agent_uncached)
+
+
+def parse_user_agent(raw: str) -> UserAgent:
+    """Classify a UA string into (browser family, device class).
+
+    Best-effort, mirroring how the paper's MySQL post-processing would bin
+    raw strings; unknown strings classify as ('unknown', 'desktop').  An
+    empty or whitespace-only UA — a real dataset always has a few — is
+    just the least informative unknown string, not an error: the audit
+    must keep the record (the UA is half of the user identity), so it
+    bins like any other unrecognised string.
+
+    Parsing runs per impression on both the beacon and the audit sides
+    against a small generated UA vocabulary, so results are memoised in a
+    bounded LRU cache; :class:`UserAgent` is frozen, so the shared
+    instances are safe to hand out.
+    """
+    if hotpath._REFERENCE:
+        return parse_user_agent_uncached(raw)
+    return _parse_user_agent_cached(raw)
+
+
+#: Cache introspection pass-throughs (tests assert on hit counts).
+parse_user_agent.cache_info = _parse_user_agent_cached.cache_info
+parse_user_agent.cache_clear = _parse_user_agent_cached.cache_clear

@@ -211,6 +211,10 @@ class Lexicon:
             if node not in tree:
                 raise KeyError(f"lexicon maps {keyword!r} to unknown node {node!r}")
             self._map[self.normalize(keyword)] = node
+        #: keyword-tuple → resolved topic tuple.  One shared store: the
+        #: matching engine and the context audit both resolve campaign
+        #: keyword lists through here, so each list is resolved once.
+        self._topics_cache: dict[tuple[str, ...], tuple[str, ...]] = {}
 
     @staticmethod
     def normalize(keyword: str) -> str:
@@ -238,6 +242,21 @@ class Lexicon:
                 seen.add(node)
                 topics.append(node)
         return topics
+
+    def campaign_topics(self, campaign_id: str,
+                        keywords: tuple[str, ...]) -> tuple[str, ...]:
+        """Memoised :meth:`topics_of` for a campaign's keyword tuple.
+
+        Keyed by the keyword tuple itself (not the campaign id, which
+        tests reuse across differing specs), so every consumer that
+        resolves the same keyword list — the matching engine, the context
+        audit — hits one shared entry.
+        """
+        cached = self._topics_cache.get(keywords)
+        if cached is None:
+            cached = tuple(self.topics_of(list(keywords)))
+            self._topics_cache[keywords] = cached
+        return cached
 
     def vocabulary(self) -> list[str]:
         """All known keyword forms (normalised)."""

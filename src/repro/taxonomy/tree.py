@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
+from repro.util import hotpath
+
 
 class TaxonomyError(Exception):
     """Malformed taxonomy operation (unknown node, duplicate, cycle...)."""
@@ -34,6 +36,12 @@ class TaxonomyTree:
         self._parent: dict[str, Optional[str]] = {root: None}
         self._children: dict[str, list[str]] = {root: []}
         self._depth: dict[str, int] = {root: 1}
+        # Tree-level memos — the one keyed store every similarity consumer
+        # (MatchEngine, the context audit, LCH scoring) shares.  All three
+        # are invalidated together whenever the tree gains a node.
+        self._path_cache: dict[tuple[str, str], int] = {}
+        self._neighborhood_cache: dict[tuple[str, int], frozenset[str]] = {}
+        self._max_depth_cache: Optional[int] = None
 
     def __contains__(self, name: str) -> bool:
         return name in self._parent
@@ -56,6 +64,9 @@ class TaxonomyTree:
         self._children[name] = []
         self._children[parent].append(name)
         self._depth[name] = self._depth[parent] + 1
+        self._path_cache.clear()
+        self._neighborhood_cache.clear()
+        self._max_depth_cache = None
 
     def add_path(self, *names: str) -> None:
         """Attach a chain under the root, creating missing links.
@@ -93,7 +104,9 @@ class TaxonomyTree:
     @property
     def max_depth(self) -> int:
         """Depth of the deepest node — the D in Leacock–Chodorow."""
-        return max(self._depth.values())
+        if self._max_depth_cache is None:
+            self._max_depth_cache = max(self._depth.values())
+        return self._max_depth_cache
 
     def ancestors(self, name: str) -> list[str]:
         """Path from *name* up to (and including) the root."""
@@ -113,10 +126,59 @@ class TaxonomyTree:
                 return node
         raise TaxonomyError("tree is disconnected")  # unreachable by construction
 
-    def path_length(self, a: str, b: str) -> int:
-        """Shortest path between two nodes, counted in edges."""
+    def path_length_uncached(self, a: str, b: str) -> int:
+        """Reference path computation: walk both ancestor chains per call."""
         lca = self.lowest_common_ancestor(a, b)
         return (self._depth[a] - self._depth[lca]) + (self._depth[b] - self._depth[lca])
+
+    def path_length(self, a: str, b: str) -> int:
+        """Shortest path between two nodes, counted in edges (memoised).
+
+        Pair results are cached under an order-normalised key — the memo
+        every LCH-similarity consumer shares — and invalidated whenever
+        the tree grows.
+        """
+        if hotpath._REFERENCE:
+            return self.path_length_uncached(a, b)
+        key = (a, b) if a <= b else (b, a)
+        cached = self._path_cache.get(key)
+        if cached is None:
+            cached = self.path_length_uncached(a, b)
+            self._path_cache[key] = cached
+        return cached
+
+    def nodes_within(self, name: str, edges: int) -> frozenset[str]:
+        """Every node at most *edges* tree edges from *name* (memoised).
+
+        This is the set-index form of the path-length criterion:
+        ``b in tree.nodes_within(a, r)`` iff ``tree.path_length(a, b) <= r``.
+        The matching engine and the context audit intersect these
+        neighbourhoods with topic sets instead of running nested
+        per-pair path computations.
+        """
+        if edges < 0:
+            raise TaxonomyError("edges must be non-negative")
+        key = (name, edges)
+        cached = self._neighborhood_cache.get(key)
+        if cached is None:
+            self._require(name)
+            frontier = [name]
+            reached = {name}
+            for _ in range(edges):
+                next_frontier: list[str] = []
+                for node in frontier:
+                    parent = self._parent[node]
+                    if parent is not None and parent not in reached:
+                        reached.add(parent)
+                        next_frontier.append(parent)
+                    for child in self._children[node]:
+                        if child not in reached:
+                            reached.add(child)
+                            next_frontier.append(child)
+                frontier = next_frontier
+            cached = frozenset(reached)
+            self._neighborhood_cache[key] = cached
+        return cached
 
     def leaves(self) -> list[str]:
         """All nodes with no children."""

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.audit.context import ContextAudit, ContextCriterion
+from repro.util import hotpath
 
 
 class TestContextCriterion:
@@ -56,6 +57,29 @@ class TestPublisherMeaningful:
     def test_threshold_value_exposed(self, dataset):
         audit = ContextAudit(dataset)
         assert audit.lch_threshold > 0
+
+    @pytest.mark.parametrize("radius", [0, 1, 2, 3])
+    def test_neighborhood_judge_equals_lch_reference(self, dataset, radius):
+        # The optimized judge intersects taxonomy neighbourhoods; the
+        # reference runs the original LCH cross-product.  Every
+        # (campaign, domain) verdict in the dataset must agree.
+        audit = ContextAudit(dataset, ContextCriterion(max_path_edges=radius))
+        domains = {record.domain
+                   for campaign_id in dataset.campaigns
+                   for record in dataset.records(campaign_id)}
+        domains.add("missing.example")
+        for campaign_id in dataset.campaigns:
+            for domain in sorted(domains):
+                assert audit._judge(campaign_id, domain) == \
+                    audit._judge_reference(campaign_id, domain), \
+                    (campaign_id, domain, radius)
+
+    def test_reference_mode_dispatch(self, dataset):
+        audit = ContextAudit(dataset)
+        with hotpath.reference_hotpaths():
+            assert audit.publisher_meaningful("Football-010", "futbolhead.es")
+            assert not audit.publisher_meaningful("Football-010",
+                                                  "recetas.es")
 
 
 class TestAssess:

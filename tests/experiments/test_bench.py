@@ -1,0 +1,169 @@
+"""Tests for the ``repro bench`` harness and its BENCH.json schema."""
+
+import json
+
+import pytest
+
+from repro.experiments import bench
+from repro.experiments.bench import (
+    BENCH_SCHEMA,
+    BenchSchemaError,
+    SCALE_PRESETS,
+    dumps_bench,
+    mask_microbenchmark,
+    resolve_scale,
+    run_probe,
+    validate_bench_document,
+    write_bench,
+)
+
+
+def minimal_run(mode="serial", jobs=1, reference=False):
+    return {
+        "mode": mode,
+        "jobs": jobs,
+        "reference": reference,
+        "wall_seconds": 1.5,
+        "pageviews": 100,
+        "delivered": 40,
+        "logged": 38,
+        "pageviews_per_second": 66.7,
+        "impressions_per_second": 26.7,
+        "peak_rss_bytes": 40 << 20,
+        "stage_wall_seconds": {
+            "shard.wall_seconds": {"count": 4, "sum_seconds": 1.2,
+                                   "mean_seconds": 0.3},
+        },
+    }
+
+
+def minimal_document():
+    return {
+        "schema": BENCH_SCHEMA,
+        "created_unix": 1_700_000_000.0,
+        "python": "3.11.0",
+        "platform": "linux",
+        "seed": 2016,
+        "scale": 0.01,
+        "jobs": 2,
+        "shard_slices": 4,
+        "runs": [minimal_run("serial"),
+                 minimal_run("parallel", jobs=2),
+                 minimal_run("reference-serial", reference=True)],
+        "comparison": {"end_to_end_speedup": 1.4,
+                       "impressions_per_second_gain": 1.4},
+        "micro": {"mask_xor_64kib": {
+            "payload_bytes": 65536,
+            "optimized_seconds_per_op": 2e-4,
+            "reference_seconds_per_op": 5e-3,
+            "optimized_mib_per_second": 320.0,
+            "reference_mib_per_second": 12.5,
+            "speedup": 25.0,
+        }},
+    }
+
+
+class TestResolveScale:
+    @pytest.mark.parametrize("name", sorted(SCALE_PRESETS))
+    def test_presets(self, name):
+        assert resolve_scale(name) == SCALE_PRESETS[name]
+
+    def test_float_passthrough(self):
+        assert resolve_scale("0.125") == 0.125
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError, match="tiny"):
+            resolve_scale("huge")
+
+
+class TestSchemaValidation:
+    def test_minimal_document_valid(self):
+        validate_bench_document(minimal_document())
+
+    def test_dumps_is_strict_sorted_json(self):
+        text = dumps_bench(minimal_document())
+        assert text.endswith("\n")
+        parsed = json.loads(text)
+        assert parsed["schema"] == BENCH_SCHEMA
+        assert list(parsed) == sorted(parsed)
+
+    def test_comparison_is_optional(self):
+        document = minimal_document()
+        del document["comparison"]
+        validate_bench_document(document)
+
+    @pytest.mark.parametrize("mutate, message", [
+        (lambda d: d.update(schema="bench/0"), "schema"),
+        (lambda d: d.pop("runs"), "runs"),
+        (lambda d: d.update(runs=[]), "runs"),
+        (lambda d: d.update(scale=0.0), "scale"),
+        (lambda d: d.update(jobs=0), "jobs"),
+        (lambda d: d.pop("micro"), "micro"),
+        (lambda d: d["runs"][0].update(mode="warp"), "mode"),
+        (lambda d: d["runs"][0].update(wall_seconds=0.0), "wall_seconds"),
+        (lambda d: d["runs"][0].update(pageviews=-1), "pageviews"),
+        (lambda d: d["runs"][0].update(pageviews=True), "pageviews"),
+        (lambda d: d["runs"][0].pop("stage_wall_seconds"), "stage"),
+        (lambda d: d["micro"]["mask_xor_64kib"].update(speedup=0.0),
+         "speedup"),
+    ])
+    def test_violations_rejected(self, mutate, message):
+        document = minimal_document()
+        mutate(document)
+        with pytest.raises(BenchSchemaError, match=message):
+            validate_bench_document(document)
+
+    def test_two_serial_runs_rejected(self):
+        document = minimal_document()
+        document["runs"].append(minimal_run("serial"))
+        with pytest.raises(BenchSchemaError, match="exactly one serial"):
+            validate_bench_document(document)
+
+    def test_comparison_without_reference_run_rejected(self):
+        document = minimal_document()
+        document["runs"] = [minimal_run("serial")]
+        with pytest.raises(BenchSchemaError, match="reference-serial"):
+            validate_bench_document(document)
+
+    def test_write_bench_roundtrips(self, tmp_path):
+        path = write_bench(minimal_document(), tmp_path / "BENCH.json")
+        validate_bench_document(json.loads(path.read_text()))
+
+
+class TestMaskMicrobenchmark:
+    def test_reports_consistent_speedup(self):
+        result = mask_microbenchmark(payload_bytes=4096)
+        assert result["payload_bytes"] == 4096
+        assert result["speedup"] == pytest.approx(
+            result["reference_seconds_per_op"]
+            / result["optimized_seconds_per_op"])
+        assert result["speedup"] > 1.0
+
+
+class TestProbesAndDocument:
+    def test_in_process_probe_shape(self):
+        row = run_probe(seed=2016, scale=0.004, jobs=1)
+        document = minimal_document()
+        document["runs"] = [row]
+        document["scale"] = 0.004
+        del document["comparison"]
+        validate_bench_document(document)
+        assert row["mode"] == "serial"
+        assert row["pageviews"] > 0
+        assert "shard.wall_seconds" in row["stage_wall_seconds"]
+
+    def test_reference_probe_must_be_serial(self):
+        with pytest.raises(ValueError):
+            run_probe(seed=2016, scale=0.004, jobs=2, reference=True)
+
+    def test_run_bench_builds_valid_document(self):
+        messages = []
+        document = bench.run_bench(
+            seed=2016, scale=0.004, jobs=2, include_baseline=True,
+            subprocess_probes=False, progress=messages.append)
+        validate_bench_document(document)
+        modes = [run["mode"] for run in document["runs"]]
+        assert modes == ["serial", "parallel", "reference-serial"]
+        assert document["comparison"]["end_to_end_speedup"] > 0
+        assert document["micro"]["mask_xor_64kib"]["speedup"] > 1.0
+        assert messages  # progress callback was exercised

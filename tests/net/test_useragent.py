@@ -4,7 +4,12 @@ import random
 
 import pytest
 
-from repro.net.useragent import generate_user_agent, parse_user_agent
+from repro.net.useragent import (
+    generate_user_agent,
+    parse_user_agent,
+    parse_user_agent_uncached,
+)
+from repro.util import hotpath
 
 
 class TestGenerate:
@@ -72,3 +77,35 @@ class TestParse:
         raw = ("Mozilla/5.0 (Macintosh; Intel Mac OS X 10_11_4) AppleWebKit/537.36 "
                "(KHTML, like Gecko) Chrome/49.0.2623.87 Safari/537.36")
         assert parse_user_agent(raw).browser == "chrome"
+
+
+class TestParseCache:
+    @pytest.mark.parametrize("raw", ["", "   ", "\t\n"])
+    def test_cached_calls_still_classify_blank_as_unknown_desktop(self, raw):
+        # The LRU wrapper must preserve the blank-UA contract on both the
+        # miss and the hit: repeated lookups return the shared frozen
+        # ('unknown', 'desktop') classification.
+        parse_user_agent.cache_clear()
+        first = parse_user_agent(raw)
+        hits_before = parse_user_agent.cache_info().hits
+        again = parse_user_agent(raw)
+        assert again is first  # cache hit hands out the frozen instance
+        assert parse_user_agent.cache_info().hits == hits_before + 1
+        assert (again.browser, again.device) == ("unknown", "desktop")
+        assert again.raw == raw
+
+    def test_cache_is_bounded(self):
+        assert parse_user_agent.cache_info().maxsize == 8192
+
+    def test_cached_result_matches_uncached(self):
+        rng = random.Random(11)
+        for _ in range(50):
+            raw = generate_user_agent(rng)
+            assert parse_user_agent(raw) == parse_user_agent_uncached(raw)
+
+    def test_reference_mode_bypasses_cache(self):
+        parse_user_agent.cache_clear()
+        with hotpath.reference_hotpaths():
+            parsed = parse_user_agent("curl/7.58.0")
+        assert parsed.browser == "unknown"
+        assert parse_user_agent.cache_info().currsize == 0

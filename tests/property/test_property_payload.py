@@ -45,6 +45,30 @@ class TestPayloadProperties:
         assert message.kind is kind
         assert abs(message.offset_seconds - offset) < 0.001
 
+    @given(offset=st.floats(min_value=0.0, max_value=86_400.0,
+                            allow_nan=False),
+           kind=st.sampled_from(list(InteractionKind)))
+    def test_offset_quantized_to_half_millisecond(self, offset, kind):
+        # The wire renders t with {offset:.3f} — millisecond resolution,
+        # rounding half-to-even — so a full round trip recovers the
+        # offset to within 0.5 ms (the tiny epsilon absorbs the float
+        # representation error of the re-parsed decimal).
+        message = parse_message(encode_interaction(InteractionEvent(
+            kind, offset)))
+        assert abs(message.offset_seconds - offset) <= 0.0005 + 1e-9
+
+    @given(offset_ms=st.integers(min_value=0, max_value=86_400_000),
+           kind=st.sampled_from(list(InteractionKind)))
+    def test_millisecond_grid_offsets_roundtrip_exactly(self, offset_ms,
+                                                        kind):
+        # An offset already on the millisecond grid is carried exactly:
+        # {:.3f} re-renders the same decimal and float() re-reads it to
+        # the identical double.
+        offset = offset_ms / 1000.0
+        message = parse_message(encode_interaction(InteractionEvent(
+            kind, offset)))
+        assert message.offset_seconds == offset
+
     @given(st.text(max_size=60))
     def test_parser_never_crashes_on_garbage(self, garbage):
         try:
