@@ -11,6 +11,7 @@ Examples::
     python -m repro --figure 1 --figure 3 --seed 7
     python -m repro --dump-dataset impressions.jsonl
     python -m repro --trace-json trace.json # open in Perfetto
+    python -m repro --faults flaky --coverage-json coverage.json
     python -m repro explain 17              # one impression's receipt
     python -m repro bench --scale tiny      # performance harness
 """
@@ -24,6 +25,7 @@ from repro.audit import full_audit
 from repro.experiments import figures, tables
 from repro.experiments.parallel import ParallelExperimentRunner
 from repro.experiments.config import paper_experiment
+from repro.faults.plan import FaultPlan, PRESET_NAMES
 
 _TABLES = {
     1: tables.render_table1,
@@ -75,6 +77,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace-jsonl", metavar="PATH", default=None,
                         help="write the impression traces as JSONL, one "
                              "trace per line")
+    parser.add_argument("--faults", metavar="SPEC", default=None,
+                        help="deterministic fault plan: a preset "
+                             f"({', '.join(PRESET_NAMES)}), inline JSON, or "
+                             "a JSON file path (default none; 'none' is "
+                             "byte-identical to omitting the flag)")
+    parser.add_argument("--coverage-json", metavar="PATH", default=None,
+                        help="write the measurement-coverage ledger "
+                             "(delivered/observed/deduped/quarantined/lost "
+                             "per publisher and campaign) as strict JSON")
     return parser
 
 
@@ -194,6 +205,10 @@ def build_bench_parser() -> argparse.ArgumentParser:
                         help="run probes in this process instead of "
                              "subprocesses (faster, less isolated RSS/wall "
                              "numbers)")
+    parser.add_argument("--faults", metavar="SPEC", default="none",
+                        help="fault plan preset to benchmark under "
+                             "(default none; e.g. flaky to measure the "
+                             "retry/recovery overhead)")
     parser.add_argument("--profile", type=int, nargs="?", const=25,
                         default=None, metavar="N",
                         help="also cProfile the serial scenario and print "
@@ -226,7 +241,8 @@ def run_bench(argv: list[str]) -> int:
         # Internal mode: one measurement in this (fresh) interpreter,
         # reported as a single JSON object on stdout.
         row = bench.run_probe(args.seed, scale, jobs=args.jobs,
-                              reference=args.reference)
+                              reference=args.reference,
+                              faults=args.faults)
         print(json.dumps(row, sort_keys=True, allow_nan=False))
         return 0
 
@@ -234,6 +250,7 @@ def run_bench(argv: list[str]) -> int:
         seed=args.seed, scale=scale, jobs=args.jobs,
         include_baseline=not args.skip_baseline,
         subprocess_probes=not args.in_process,
+        faults=args.faults,
         progress=lambda message: print(message, file=sys.stderr))
     path = bench.write_bench(document, args.out)
 
@@ -284,10 +301,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.jobs < 1:
         print("--jobs must be at least 1", file=sys.stderr)
         return 2
+    try:
+        plan = FaultPlan.resolve(args.faults)
+    except (ValueError, OSError) as error:
+        print(f"--faults: {error}", file=sys.stderr)
+        return 2
     print(f"Running the 8-campaign study (seed={args.seed}, "
           f"scale={args.scale}, jobs={args.jobs}) ...", file=sys.stderr)
     result = ParallelExperimentRunner(
-        paper_experiment(seed=args.seed, scale=args.scale),
+        paper_experiment(seed=args.seed, scale=args.scale, faults=plan),
         jobs=args.jobs).run()
     print(f"pageviews={result.stats['pageviews']} "
           f"delivered={result.stats['delivered']} "
@@ -300,11 +322,27 @@ def main(argv: list[str] | None = None) -> int:
         sections.append(_FIGURES[number](result))
     if not sections:
         sections.append(full_audit(result.dataset).render())
+    if plan.active:
+        # The coverage ledger explains, delivery by delivery, what the
+        # fault plan cost the measurement; it never prints for the
+        # inactive plan so fault-free stdout stays byte-identical.
+        from repro.audit.coverage import render_coverage
+
+        sections.append(render_coverage(result.coverage))
     print("\n\n".join(sections))
 
     if args.dump_dataset:
         count = result.dataset.store.dump_jsonl(args.dump_dataset)
         print(f"wrote {count} impression records to {args.dump_dataset}",
+              file=sys.stderr)
+    if args.coverage_json:
+        from pathlib import Path
+
+        from repro.audit.coverage import coverage_to_json
+
+        Path(args.coverage_json).write_text(
+            coverage_to_json(result.coverage), encoding="utf-8")
+        print(f"wrote coverage JSON to {args.coverage_json}",
               file=sys.stderr)
     if args.json or args.csv:
         from pathlib import Path

@@ -50,6 +50,11 @@ class HelloMessage:
     url: str
     user_agent: str
     pixels_in_view: "bool | None" = None
+    #: Stable per-impression delivery nonce (``n=`` field).  Emitted only
+    #: when fault injection/retries are active: it is the collector's
+    #: idempotency key, letting retried or duplicated deliveries of the
+    #: same impression dedup to one record.  Empty when absent.
+    nonce: str = ""
 
 
 @dataclass(frozen=True)
@@ -87,8 +92,13 @@ def _unquote(value: str) -> str:
     return value
 
 
-def encode_hello(observation: BeaconObservation) -> str:
-    """Serialise the impression announcement."""
+def encode_hello(observation: BeaconObservation, nonce: str = "") -> str:
+    """Serialise the impression announcement.
+
+    *nonce* (the delivery idempotency key) is appended as ``n=`` only
+    when non-empty, so fault-free runs put exactly the historical bytes
+    on the wire.
+    """
     parts = [
         "HELLO",
         f"v={_VERSION}",
@@ -99,6 +109,8 @@ def encode_hello(observation: BeaconObservation) -> str:
     ]
     if observation.pixels_in_view is not None:
         parts.append(f"pv={1 if observation.pixels_in_view else 0}")
+    if nonce:
+        parts.append(f"n={_quote(nonce)}")
     return "|".join(parts)
 
 
@@ -188,9 +200,10 @@ def parse_message(raw: str) -> HelloMessage | InteractionMessage:
             if fields["pv"] not in ("0", "1"):
                 raise PayloadError(f"bad pv flag: {fields['pv']!r}")
             pixels_in_view = fields["pv"] == "1"
+        nonce = _unquote(fields.get("n", ""))
         return HelloMessage(campaign_id=campaign_id, creative_id=creative_id,
                             url=url, user_agent=user_agent,
-                            pixels_in_view=pixels_in_view)
+                            pixels_in_view=pixels_in_view, nonce=nonce)
     if tag == "EVT":
         fields = _fields(parts[1:])
         try:

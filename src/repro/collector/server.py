@@ -27,6 +27,8 @@ from repro.collector.payload import (
     parse_message,
 )
 from repro.collector.store import ImpressionRecord, ImpressionStore
+from repro.faults.inject import NULL_INJECTOR, FaultInjector
+from repro.faults.quarantine import QuarantineEntry, QuarantineLog
 from repro.net.transport import Connection, Endpoint, SimulatedNetwork
 from repro.net.websocket import (
     Frame,
@@ -61,6 +63,26 @@ class _Session:
     got_close_frame: bool = False
     failed: bool = False
     finalized: bool = False
+    #: Delivery nonce from the HELLO (idempotency key; "" when absent).
+    nonce: str = ""
+    #: Malformed frames quarantined on this connection (fault mode only).
+    quarantined_frames: int = 0
+
+
+@dataclass
+class FinalizeOutcome:
+    """What :meth:`CollectorServer.finalize` decided for one connection.
+
+    The beacon client reads ``last_finalize`` to learn whether its
+    delivery actually committed (vs. was dedup-rejected or lost), which
+    is what the coverage report's reconciliation is built from.
+    """
+
+    committed: bool = False
+    duplicate: bool = False
+    record_id: Optional[int] = None
+    quarantined_frames: int = 0
+    reason: str = ""
 
 
 class CollectorServer:
@@ -78,12 +100,30 @@ class CollectorServer:
     def __init__(self, store: ImpressionStore,
                  endpoint: Endpoint | None = None,
                  metrics: MetricsRegistry | None = None,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 injector: FaultInjector | None = None) -> None:
         self.store = store
         self.endpoint = endpoint or self.DEFAULT_ENDPOINT
         self._sessions: dict[int, _Session] = {}
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.faults = injector if injector is not None else NULL_INJECTOR
+        self.quarantine = QuarantineLog()
+        self.last_finalize = FinalizeOutcome()
+        self._seen_nonces: dict[str, int] = {}
+        # Fault-mode instruments are registered only when a plan is
+        # active: a fault-free run's metrics snapshot must be
+        # byte-identical to a build without the fault layer.
+        self._duplicates_counter = None
+        self._quarantined_counter = None
+        if self.faults.active:
+            self._duplicates_counter = self.metrics.counter(
+                "collector.duplicates",
+                help="deliveries dedup-rejected by the beacon nonce")
+            self._quarantined_counter = self.metrics.counter(
+                "collector.quarantined_frames",
+                help="malformed frames quarantined instead of killing "
+                     "the connection")
         self._handshake_failures = self.metrics.counter(
             "collector.handshake_failures",
             help="connections dropped during the upgrade handshake")
@@ -140,6 +180,20 @@ class CollectorServer:
     def records_committed(self, value: int) -> None:
         self._records_committed.value = value
 
+    @property
+    def duplicates(self) -> int:
+        """Deliveries rejected by nonce dedup (0 when faults inactive)."""
+        if self._duplicates_counter is None:
+            return 0
+        return int(self._duplicates_counter.value)
+
+    @property
+    def quarantined_frames(self) -> int:
+        """Frames quarantined across all sessions (0 when faults inactive)."""
+        if self._quarantined_counter is None:
+            return 0
+        return int(self._quarantined_counter.value)
+
     def attach(self, network: SimulatedNetwork) -> None:
         """Register as the listening server on *network*."""
         network.on_accept(self._accept)
@@ -149,7 +203,8 @@ class CollectorServer:
         self._sessions[connection.connection_id] = _Session(
             connection=connection,
             decoder=FrameDecoder(require_masked=True, metrics=self.metrics,
-                                 tracer=self.tracer))
+                                 tracer=self.tracer,
+                                 connection_id=connection.connection_id))
 
     def session_count(self) -> int:
         """Connections currently tracked (not yet finalized)."""
@@ -177,9 +232,39 @@ class CollectorServer:
             with self._decode_timer.measure():
                 for frame in session.decoder.feed(data):
                     self._handle_frame(session, frame)
-        except WebSocketError:
+        except WebSocketError as error:
             self._malformed_messages.inc()
-            session.failed = True
+            if self.faults.active:
+                # Quarantine instead of killing the connection loop: the
+                # decoder's garbage is dropped, the incident logged, and
+                # the session keeps consuming later (clean) frames.
+                self._quarantine_frame(session, error)
+            else:
+                session.failed = True
+
+    def _quarantine_frame(self, session: _Session,
+                          error: WebSocketError) -> None:
+        from repro.web.publisher import domain_of_url
+
+        decoder = session.decoder
+        dropped = decoder.reset()
+        session.quarantined_frames += 1
+        self._quarantined_counter.inc()
+        hello = session.hello
+        offset = decoder.last_error_offset
+        entry = QuarantineEntry(
+            connection_id=session.connection.connection_id,
+            byte_offset=0 if offset is None else offset,
+            reason=decoder.last_error_reason or "malformed",
+            domain=domain_of_url(hello.url) if hello is not None else "",
+            campaign_id=hello.campaign_id if hello is not None else "")
+        self.quarantine.record(entry)
+        self.tracer.event("collector.quarantine", at=self.tracer.now,
+                          connection=entry.connection_id,
+                          offset=entry.byte_offset,
+                          reason=entry.reason,
+                          dropped_bytes=dropped,
+                          detail=str(error))
 
     def _handle_handshake(self, session: _Session,
                           data: bytes) -> Optional[bytes]:
@@ -232,6 +317,7 @@ class CollectorServer:
         if isinstance(message, HelloMessage):
             if session.hello is None:
                 session.hello = message
+                session.nonce = message.nonce
             else:
                 self._malformed_messages.inc()
         elif isinstance(message, InteractionMessage):
@@ -259,15 +345,39 @@ class CollectorServer:
             raise ValueError("cannot finalize an open connection")
         if session.failed or session.hello is None:
             self._connections_without_hello.inc()
+            reason = "failed" if session.failed else "no_hello"
+            self.last_finalize = FinalizeOutcome(
+                quarantined_frames=session.quarantined_frames, reason=reason)
             self.tracer.span(
                 "collector.ingest",
                 start=connection.opened_at_server,
                 end=connection.closed_at_server,
                 committed=False,
-                reason="failed" if session.failed else "no_hello",
+                reason=reason,
                 close_initiator=connection.close_initiator)
             return None
         hello = session.hello
+        # Idempotent ingestion: the HELLO's delivery nonce is the
+        # dedup key.  A retried (or fault-duplicated) delivery of an
+        # impression that already committed — possibly as a truncated
+        # record from the aborted first attempt — is rejected here
+        # instead of inflating the audit counts.
+        if self.faults.active and session.nonce:
+            earlier = self._seen_nonces.get(session.nonce)
+            if earlier is not None:
+                self._duplicates_counter.inc()
+                self.last_finalize = FinalizeOutcome(
+                    duplicate=True,
+                    quarantined_frames=session.quarantined_frames,
+                    reason="duplicate")
+                self.tracer.span(
+                    "collector.ingest",
+                    start=connection.opened_at_server,
+                    end=connection.closed_at_server,
+                    committed=False, reason="duplicate",
+                    duplicate_of=earlier,
+                    close_initiator=connection.close_initiator)
+                return None
         record = ImpressionRecord(
             record_id=self.store.next_record_id(),
             campaign_id=hello.campaign_id,
@@ -285,6 +395,11 @@ class CollectorServer:
         self.store.insert(record)
         self._records_committed.inc()
         self._connection_seconds.observe(record.exposure_seconds)
+        if self.faults.active and session.nonce:
+            self._seen_nonces[session.nonce] = record.record_id
+        self.last_finalize = FinalizeOutcome(
+            committed=True, record_id=record.record_id,
+            quarantined_frames=session.quarantined_frames)
         self.tracer.set_record(record.record_id)
         self.tracer.span(
             "collector.ingest",

@@ -244,7 +244,11 @@ class ImpressionStore:
             except (json.JSONDecodeError, TypeError, ValueError) as exc:
                 raise ValueError(
                     f"{source}:{line_number}: bad record: {exc}") from exc
-            if record.record_id <= last_id:
+            if record.record_id == last_id:
+                raise ValueError(
+                    f"{source}:{line_number}: duplicate record id "
+                    f"{record.record_id}")
+            if record.record_id < last_id:
                 raise ValueError(
                     f"{source}:{line_number}: record ids must be strictly "
                     f"increasing ({record.record_id} after {last_id})")

@@ -37,6 +37,7 @@ from typing import Optional
 
 from repro.experiments.config import paper_experiment
 from repro.experiments.parallel import ParallelExperimentRunner
+from repro.faults.plan import FaultPlan
 from repro.obs.metrics import WALL, MetricsSnapshot
 from repro.util import hotpath
 
@@ -104,21 +105,26 @@ def _stage_wall_seconds(metrics: MetricsSnapshot) -> dict:
 
 
 def run_probe(seed: int, scale: float, jobs: int = 1,
-              reference: bool = False) -> dict:
+              reference: bool = False, faults: str = "none") -> dict:
     """Run one scenario measurement in this process and return its row.
 
     ``reference=True`` flips every optimized hot path to its retained
     reference implementation for the duration of the run — the
-    pre-optimization baseline, measured on identical work.
+    pre-optimization baseline, measured on identical work.  *faults*
+    names the fault plan to run under (``none`` measures the historical
+    fault-free path), so the retry/recovery machinery's overhead is
+    benchmarkable like any other stage.
     """
     if reference and jobs != 1:
         raise ValueError("the reference baseline is measured serial-only")
+    plan = FaultPlan.resolve(faults)
     mode = "reference-serial" if reference \
         else ("serial" if jobs == 1 else "parallel")
     with hotpath.reference_hotpaths(reference):
         started = time.perf_counter()
         result = ParallelExperimentRunner(
-            paper_experiment(seed=seed, scale=scale), jobs=jobs).run()
+            paper_experiment(seed=seed, scale=scale, faults=plan),
+            jobs=jobs).run()
         wall_seconds = time.perf_counter() - started
     pageviews = result.stats["pageviews"]
     delivered = result.stats["delivered"]
@@ -126,6 +132,7 @@ def run_probe(seed: int, scale: float, jobs: int = 1,
         "mode": mode,
         "jobs": jobs,
         "reference": reference,
+        "faults": plan.name,
         "wall_seconds": wall_seconds,
         "pageviews": pageviews,
         "delivered": delivered,
@@ -138,11 +145,11 @@ def run_probe(seed: int, scale: float, jobs: int = 1,
 
 
 def _probe_in_subprocess(seed: int, scale: float, jobs: int,
-                         reference: bool) -> dict:
+                         reference: bool, faults: str = "none") -> dict:
     """Run one probe in a fresh interpreter for clean wall/RSS numbers."""
     command = [sys.executable, "-m", "repro", "bench", "--probe",
                "--seed", str(seed), "--scale", repr(scale),
-               "--jobs", str(jobs)]
+               "--jobs", str(jobs), "--faults", faults]
     if reference:
         command.append("--reference")
     env = dict(os.environ)
@@ -201,24 +208,29 @@ def mask_microbenchmark(payload_bytes: int = _MASK_PAYLOAD_BYTES) -> dict:
 
 def run_bench(seed: int = 2016, scale: float = SCALE_PRESETS["small"],
               jobs: int = 2, include_baseline: bool = True,
-              subprocess_probes: bool = True,
+              subprocess_probes: bool = True, faults: str = "none",
               progress=None) -> dict:
     """Measure the scenario (serial, parallel, optional reference baseline)
     plus the masking microbenchmark; returns the validated BENCH document.
 
     ``subprocess_probes=False`` runs every probe in-process (faster, used
     by tests); the default isolates each probe in a fresh interpreter.
+    ``faults`` names the fault plan every scenario probe runs under.
     """
+    plan = FaultPlan.resolve(faults)
+
     def note(message: str) -> None:
         if progress is not None:
             progress(message)
 
     def probe(probe_jobs: int, reference: bool) -> dict:
         if subprocess_probes:
-            return _probe_in_subprocess(seed, scale, probe_jobs, reference)
-        return run_probe(seed, scale, jobs=probe_jobs, reference=reference)
+            return _probe_in_subprocess(seed, scale, probe_jobs, reference,
+                                        faults=faults)
+        return run_probe(seed, scale, jobs=probe_jobs, reference=reference,
+                         faults=faults)
 
-    note(f"probing serial run (scale={scale}) ...")
+    note(f"probing serial run (scale={scale}, faults={plan.name}) ...")
     serial = probe(1, False)
     note(f"probing parallel run (--jobs {jobs}) ...")
     parallel = probe(jobs, False)
@@ -232,6 +244,7 @@ def run_bench(seed: int = 2016, scale: float = SCALE_PRESETS["small"],
         "seed": seed,
         "scale": scale,
         "jobs": jobs,
+        "faults": plan.name,
         "shard_slices": paper_experiment(seed=seed, scale=scale).shard_slices,
         "runs": runs,
     }
@@ -301,6 +314,11 @@ def _check_run(run: dict, name: str) -> None:
     _check_int(run.get("jobs"), f"{name}.jobs", minimum=1)
     _require(isinstance(run.get("reference"), bool),
              f"{name}.reference must be a boolean")
+    if "faults" in run:
+        # Optional for compatibility with documents that predate fault
+        # plans; when present it must name the plan the probe ran under.
+        _require(isinstance(run["faults"], str) and run["faults"],
+                 f"{name}.faults must be a non-empty string")
     _check_number(run.get("wall_seconds"), f"{name}.wall_seconds",
                   minimum=0.0, strict=True)
     for field in ("pageviews", "delivered", "logged", "peak_rss_bytes"):
@@ -340,6 +358,9 @@ def validate_bench_document(document: dict) -> None:
     _check_int(document.get("seed"), "seed")
     _check_number(document.get("scale"), "scale", minimum=0.0, strict=True)
     _check_int(document.get("jobs"), "jobs", minimum=1)
+    if "faults" in document:
+        _require(isinstance(document["faults"], str) and document["faults"],
+                 "faults must be a non-empty string")
     _check_int(document.get("shard_slices"), "shard_slices", minimum=1)
 
     runs = document.get("runs")

@@ -8,8 +8,9 @@ world proportionally for tests and quick benchmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from repro.adnetwork.campaign import CampaignSpec
+from repro.faults.plan import FaultPlan
 from repro.web.bots import BotConfig
 
 #: Bot operators monetising sports/entertainment inventory (the fleets that
@@ -74,6 +75,13 @@ class ExperimentConfig:
     #: function of (seed, scale, shard_slices) and independent of how many
     #: worker processes execute the shards.
     shard_slices: int = 4
+    #: Deterministic fault plan (see :mod:`repro.faults`).  Part of the
+    #: experiment's identity like the seed: the default inactive plan
+    #: leaves every RNG stream, wire byte and output untouched, while an
+    #: active plan drives injection from dedicated ``faults/{scope}``
+    #: streams so the same (seed, plan) reproduces the same faults
+    #: serially or in parallel.
+    faults: FaultPlan = field(default_factory=FaultPlan)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.scale <= 4.0:
@@ -128,12 +136,15 @@ def _fleet(profile: tuple[tuple[str, float], ...], fleets: int,
                      fleet_focus_size=fleet_focus_size)
 
 
-def paper_experiment(seed: int = 2016, scale: float = 1.0) -> ExperimentConfig:
+def paper_experiment(seed: int = 2016, scale: float = 1.0,
+                     faults: FaultPlan | None = None) -> ExperimentConfig:
     """The 8-campaign study of Table 1, sized by *scale*.
 
     Budgets below are calibrated (at scale 1.0, seed 2016) so delivered
     volumes land in the neighbourhood of the paper's impression counts;
-    they scale linearly with the world.
+    they scale linearly with the world.  *faults* (default: the inactive
+    plan) injects deterministic measurement faults without perturbing the
+    fault-free streams.
     """
     flight = CampaignSpec.flight
 
@@ -225,4 +236,5 @@ def paper_experiment(seed: int = 2016, scale: float = 1.0) -> ExperimentConfig:
         scale=scale,
         campaigns=campaigns,
         periods=(february, march, april),
+        faults=faults if faults is not None else FaultPlan(),
     )

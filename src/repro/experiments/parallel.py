@@ -17,6 +17,16 @@ merge folds both in canonical order (rewriting trace impression/record
 ids with the same cumulative offsets the store merge uses) — so
 ``--trace-json`` exports are byte-identical for any ``jobs`` value.
 
+It also covers failure recovery: a shard that crashes (an injected
+:class:`~repro.faults.plan.ShardCrashError`, or a worker process dying)
+is re-executed up to ``shard_retries`` extra times — the attempt counter
+feeds only the fault plan's crash decision, never an RNG stream, so a
+recovered shard is byte-identical to one that never crashed.  A shard
+that exhausts its retries is marked *lost* and the run degrades
+gracefully: the merge proceeds without it and the coverage report names
+the lost scope.  Serial (``jobs=1``) and pooled execution share the same
+recovery policy, keeping their outputs identical even under crashes.
+
 Worker processes rebuild the (config-deterministic) world once each and
 cache it; on platforms that fork, the parent builds it *before* creating
 the pool so children inherit it copy-on-write instead.  Shards are
@@ -27,10 +37,12 @@ heuristic) — a scheduling detail that cannot affect the output.
 from __future__ import annotations
 
 import functools
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 
 from repro.experiments.config import ExperimentConfig, paper_experiment
 from repro.experiments.runner import (
+    DEFAULT_SHARD_RETRIES,
     ExperimentResult,
     ShardOutput,
     ShardSpec,
@@ -40,6 +52,7 @@ from repro.experiments.runner import (
     plan_shards,
     run_shard,
 )
+from repro.faults.plan import ShardCrashError
 
 #: Per-process world cache.  ExperimentConfig is a frozen dataclass of
 #: hashable parts, so the config itself is the key; a worker that serves
@@ -55,9 +68,22 @@ def _world_for(config: ExperimentConfig) -> World:
     return world
 
 
-def _run_shard_job(config: ExperimentConfig, shard: ShardSpec) -> ShardOutput:
+def _run_shard_job(config: ExperimentConfig, shard: ShardSpec,
+                   attempt: int = 0) -> ShardOutput:
     """Worker entry point: simulate one shard in this process."""
-    return run_shard(config, shard, _world_for(config))
+    return run_shard(config, shard, _world_for(config), attempt=attempt)
+
+
+def _run_recovering(config: ExperimentConfig, shard: ShardSpec,
+                    world: World, retries: int,
+                    first_attempt: int = 0) -> ShardOutput | None:
+    """Run one shard in-process with crash recovery; None when lost."""
+    for attempt in range(first_attempt, retries + 1):
+        try:
+            return run_shard(config, shard, world, attempt=attempt)
+        except ShardCrashError:
+            continue
+    return None
 
 
 class ParallelExperimentRunner:
@@ -65,14 +91,20 @@ class ParallelExperimentRunner:
 
     ``jobs=1`` (the default) runs every shard in-process with no
     executor involved — the serial fallback.  Higher values bound the
-    worker-process count (capped at the shard count).
+    worker-process count (capped at the shard count).  ``shard_retries``
+    bounds the crash-recovery re-executions granted to each shard before
+    it is marked lost.
     """
 
-    def __init__(self, config: ExperimentConfig, jobs: int = 1) -> None:
+    def __init__(self, config: ExperimentConfig, jobs: int = 1,
+                 shard_retries: int = DEFAULT_SHARD_RETRIES) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
+        if shard_retries < 0:
+            raise ValueError("shard_retries must be non-negative")
         self.config = config
         self.jobs = jobs
+        self.shard_retries = shard_retries
 
     def run(self) -> ExperimentResult:
         config = self.config
@@ -80,19 +112,56 @@ class ParallelExperimentRunner:
         # Built before the pool exists: forked workers inherit it.
         world = _world_for(config)
         if self.jobs <= 1 or len(shards) <= 1:
-            outputs = [run_shard(config, shard, world) for shard in shards]
-            return merge_shard_outputs(config, world, outputs)
+            outputs: list[ShardOutput | None] = [
+                _run_recovering(config, shard, world, self.shard_retries)
+                for shard in shards]
+        else:
+            outputs = self._run_pooled(shards, world)
+        lost = tuple(shards[index].scope
+                     for index, output in enumerate(outputs)
+                     if output is None)
+        kept = [output for output in outputs if output is not None]
+        return merge_shard_outputs(config, world, kept, lost=lost)
+
+    def _run_pooled(self, shards: list[ShardSpec],
+                    world: World) -> list[ShardOutput | None]:
+        """Fan shards out to a process pool, resubmitting crashed ones."""
+        config = self.config
         submit_order = sorted(range(len(shards)),
                               key=lambda i: (-shards[i].weight, i))
         outputs: list[ShardOutput | None] = [None] * len(shards)
-        with ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(shards))) as pool:
-            futures = {index: pool.submit(_run_shard_job, config,
-                                          shards[index])
-                       for index in submit_order}
-            for index, future in futures.items():
-                outputs[index] = future.result()
-        return merge_shard_outputs(config, world, outputs)
+        settled = [False] * len(shards)
+        try:
+            with ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(shards))) as pool:
+                pending = {
+                    pool.submit(_run_shard_job, config, shards[index],
+                                0): (index, 0)
+                    for index in submit_order}
+                while pending:
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index, attempt = pending.pop(future)
+                        try:
+                            outputs[index] = future.result()
+                            settled[index] = True
+                        except ShardCrashError:
+                            if attempt < self.shard_retries:
+                                retry = pool.submit(
+                                    _run_shard_job, config, shards[index],
+                                    attempt + 1)
+                                pending[retry] = (index, attempt + 1)
+                            else:
+                                settled[index] = True
+        except BrokenProcessPool:
+            # The pool died under us (a worker was killed hard).  Finish
+            # the unsettled shards in-process — slower, never wrong.
+            pass
+        for index, done_flag in enumerate(settled):
+            if not done_flag and outputs[index] is None:
+                outputs[index] = _run_recovering(
+                    config, shards[index], world, self.shard_retries)
+        return outputs
 
 
 @functools.lru_cache(maxsize=4)

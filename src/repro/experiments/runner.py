@@ -34,6 +34,7 @@ from repro.adnetwork.reporting import (
     merge_aggregates,
 )
 from repro.adnetwork.server import AdServer, NetworkPolicy
+from repro.audit.coverage import CoverageCounts, ExperimentCoverage
 from repro.audit.dataset import AuditDataset
 from repro.beacon.client import BeaconClient
 from repro.beacon.script import BeaconScript
@@ -45,6 +46,9 @@ from repro.experiments.config import (
     PeriodPlan,
     paper_experiment,
 )
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import ShardCrashError
+from repro.faults.quarantine import QuarantineEntry
 from repro.geo.denylist import DenyList
 from repro.geo.ipdb import GeoIpDatabase
 from repro.geo.providers import ProviderRegistry
@@ -62,6 +66,10 @@ from repro.web.population import PublisherUniverse, UniverseConfig
 from repro.web.users import PopulationConfig, UserPopulation
 
 _SECONDS_PER_DAY = 86_400.0
+
+#: Re-execution attempts granted to a crashing shard before the runner
+#: degrades gracefully and marks it lost (serial and parallel alike).
+DEFAULT_SHARD_RETRIES = 2
 
 
 @dataclass
@@ -90,6 +98,12 @@ class ExperimentResult:
     #: merged numbering.  ``python -m repro explain`` and the
     #: ``--trace-json`` export read from here.
     recorder: FlightRecorder = field(default_factory=FlightRecorder)
+    #: Measurement-loss ledger: every ground-truth delivery classified as
+    #: observed / quarantined / lost, reconciling exactly (see
+    #: :mod:`repro.audit.coverage`).  Tracked unconditionally; the
+    #: quarantine forensics and lost-shard list are only populated under
+    #: an active fault plan.
+    coverage: ExperimentCoverage = field(default_factory=ExperimentCoverage)
 
     def delivered(self, campaign_id: str) -> int:
         """Ground-truth impressions the network delivered for a campaign."""
@@ -301,10 +315,15 @@ class ShardOutput:
     #: The shard flight recorder's retained traces, in commit order, with
     #: shard-local impression/record ids (the merge rewrites both).
     traces: tuple[TraceRecord, ...] = ()
+    #: Per-(publisher, campaign) delivery/loss accounting for this shard.
+    coverage: CoverageCounts = field(default_factory=CoverageCounts)
+    #: Quarantined-frame forensics from the shard collector (bounded).
+    quarantine: tuple[QuarantineEntry, ...] = ()
+    quarantine_dropped: int = 0
 
 
 def run_shard(config: ExperimentConfig, shard: ShardSpec,
-              world: World) -> ShardOutput:
+              world: World, attempt: int = 0) -> ShardOutput:
     """Simulate one shard end to end.
 
     Every stochastic component draws from streams scoped to the shard
@@ -315,7 +334,14 @@ def run_shard(config: ExperimentConfig, shard: ShardSpec,
     the identical fleet roster from ``bots/{period}/{country}`` and then
     keeps only its own slice of the bots, mirroring how humans are
     partitioned out of the shared population.
+
+    *attempt* is the crash-recovery re-execution counter.  It feeds only
+    the fault plan's injected-crash decision — never any RNG stream — so
+    a successful re-execution is byte-identical to a first-try success.
     """
+    if config.faults.should_crash(shard.scope, attempt):
+        raise ShardCrashError(
+            f"injected crash in shard {shard.scope} (attempt {attempt})")
     rngs = RngFactory(config.seed)
     scope = shard.scope
     period = _period_by_name(config, shard.period_name)
@@ -336,15 +362,25 @@ def run_shard(config: ExperimentConfig, shard: ShardSpec,
                       ExternalDemand(), world.ipdb, policy=NetworkPolicy(),
                       metrics=metrics, tracer=tracer)
 
+    # The injector (and its dedicated RNG stream) exists only under an
+    # active plan: fault-free runs draw from exactly the historical
+    # streams and register exactly the historical metrics.
+    injector = None
+    if config.faults.active:
+        injector = FaultInjector(config.faults,
+                                 rngs.stream(f"faults/{scope}"),
+                                 metrics=metrics, tracer=tracer)
+
     clock = SimClock(shard.start_unix)
     network = SimulatedNetwork(clock, rngs.stream(f"network/{scope}"),
-                               tracer=tracer)
+                               tracer=tracer, injector=injector)
     store = ImpressionStore(metrics=metrics, tracer=tracer)
-    collector = CollectorServer(store, metrics=metrics, tracer=tracer)
+    collector = CollectorServer(store, metrics=metrics, tracer=tracer,
+                                injector=injector)
     collector.attach(network)
     beacon_client = BeaconClient(network, collector, clock,
                                  rngs.stream(f"beacon-net/{scope}"),
-                                 tracer=tracer)
+                                 tracer=tracer, injector=injector)
     script = BeaconScript()
     browsing = BrowsingSimulator(world.universe, world.tree)
 
@@ -368,6 +404,7 @@ def run_shard(config: ExperimentConfig, shard: ShardSpec,
               if index % shard.slice_count == shard.slice_index]
 
     conversions: list[ConversionEvent] = []
+    coverage = CoverageCounts()
     pageview_count = 0
     stream = browsing.stream(humans, bots, shard.start_unix, shard.end_unix,
                              rngs.stream(f"browse/{scope}"))
@@ -382,16 +419,21 @@ def run_shard(config: ExperimentConfig, shard: ShardSpec,
             if impression is None:
                 tracer.abandon()
                 continue
+            domain = pageview.publisher.domain
+            campaign_id = impression.campaign.campaign_id
+            coverage.record_delivered(domain, campaign_id)
             observation = script.observe(impression, script_rng)
             if observation is None:
                 # Delivered but never reported: the publisher or browser
                 # blocked the beacon script.  The trace still commits —
                 # these are exactly the impressions the audit dataset is
                 # missing, so their provenance matters most.
+                coverage.record_lost(domain, campaign_id, "script_blocked")
                 tracer.event("beacon.blocked", at=pageview.timestamp)
                 tracer.commit()
                 continue
-            beacon_client.deliver(impression, observation)
+            delivery = beacon_client.deliver(impression, observation)
+            coverage.record_delivery(domain, campaign_id, delivery)
             tracer.commit()
             conversion = conversion_sim.simulate(
                 impression, observation.clicks, conversion_rng)
@@ -438,6 +480,9 @@ def run_shard(config: ExperimentConfig, shard: ShardSpec,
         records_committed=collector.records_committed,
         metrics=metrics.snapshot(),
         traces=recorder.traces(),
+        coverage=coverage,
+        quarantine=collector.quarantine.entries(),
+        quarantine_dropped=collector.quarantine.dropped,
     )
 
 
@@ -447,13 +492,18 @@ def run_shard(config: ExperimentConfig, shard: ShardSpec,
 
 
 def merge_shard_outputs(config: ExperimentConfig, world: World,
-                        outputs: list[ShardOutput]) -> ExperimentResult:
+                        outputs: list[ShardOutput],
+                        lost: tuple[str, ...] = ()) -> ExperimentResult:
     """Fold per-shard outputs (in canonical plan order) into one result.
 
     All order-sensitive reductions — record re-identification, impression
     re-numbering, float sums of charges/refunds, conversion concatenation
     — walk *outputs* in the order :func:`plan_shards` produced, so the
     merged result is independent of how (or where) the shards executed.
+
+    *lost* lists the scopes of shards that exhausted crash recovery;
+    their contributions are simply absent, and the scopes are surfaced in
+    the coverage report so the degradation is visible, never silent.
     """
     campaigns = [plan.spec for plan in config.campaigns]
     by_id = {spec.campaign_id: spec for spec in campaigns}
@@ -546,6 +596,22 @@ def merge_shard_outputs(config: ExperimentConfig, world: World,
     # experiment's metrics.
     metrics = merge_snapshots(output.metrics for output in outputs)
 
+    # Coverage folds in the same canonical order; quarantine entries get
+    # their shard scope stamped in so forensics survive the merge.
+    coverage_counts = CoverageCounts()
+    quarantine_entries: list[QuarantineEntry] = []
+    quarantine_dropped = 0
+    for output in outputs:
+        coverage_counts.absorb(output.coverage)
+        quarantine_entries.extend(
+            replace(entry, shard=output.shard.scope)
+            for entry in output.quarantine)
+        quarantine_dropped += output.quarantine_dropped
+    coverage = ExperimentCoverage(counts=coverage_counts,
+                                  quarantine=tuple(quarantine_entries),
+                                  quarantine_dropped=quarantine_dropped,
+                                  lost_shards=tuple(lost))
+
     pageview_count = sum(output.pageviews for output in outputs)
     dataset = AuditDataset(
         store=store,
@@ -568,6 +634,7 @@ def merge_shard_outputs(config: ExperimentConfig, world: World,
         conversions=conversions,
         metrics=metrics,
         recorder=recorder,
+        coverage=coverage,
         stats={
             "pageviews": pageview_count,
             "delivered": len(server.impressions),
@@ -581,6 +648,10 @@ def merge_shard_outputs(config: ExperimentConfig, world: World,
             "clicks": sum(output.clicks for output in outputs),
             "conversions": sum(output.conversion_count
                                for output in outputs),
+            # Present only when fault handling is in play so fault-free
+            # stats stay byte-identical to the historical output.
+            **({"lost_shards": len(lost)}
+               if (config.faults.active or lost) else {}),
         },
     )
 
@@ -592,12 +663,28 @@ class ExperimentRunner:
         self.config = config
 
     def run(self) -> ExperimentResult:
-        """Run the whole experiment; deterministic in the config's seed."""
+        """Run the whole experiment; deterministic in the config's seed.
+
+        Crashing shards (only an active fault plan can make one crash)
+        are retried up to :data:`DEFAULT_SHARD_RETRIES` extra times, then
+        marked lost — the same graceful degradation the parallel runner
+        applies, so serial and parallel agree even on lost shards.
+        """
         config = self.config
         world = build_world(config)
-        outputs = [run_shard(config, shard, world)
-                   for shard in plan_shards(config)]
-        return merge_shard_outputs(config, world, outputs)
+        outputs: list[ShardOutput] = []
+        lost: list[str] = []
+        for shard in plan_shards(config):
+            for attempt in range(DEFAULT_SHARD_RETRIES + 1):
+                try:
+                    outputs.append(run_shard(config, shard, world,
+                                             attempt=attempt))
+                    break
+                except ShardCrashError:
+                    continue
+            else:
+                lost.append(shard.scope)
+        return merge_shard_outputs(config, world, outputs, lost=tuple(lost))
 
 
 @functools.lru_cache(maxsize=4)

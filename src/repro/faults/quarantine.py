@@ -1,0 +1,60 @@
+"""Quarantine log for malformed beacon traffic.
+
+When fault injection is active, a corrupt WebSocket frame no longer
+kills the collector's connection loop: the decoder's buffered bytes are
+dropped, the incident lands here, and the session keeps consuming
+subsequent frames.  The log is bounded — a hostile plan can corrupt
+thousands of frames, and the coverage report only needs the counts plus
+a representative sample — with an explicit ``dropped`` counter so
+truncation is never silent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Default retention; entries beyond it are counted, not stored.
+DEFAULT_QUARANTINE_CAPACITY = 256
+
+
+@dataclass(frozen=True)
+class QuarantineEntry:
+    """One malformed-frame incident, self-describing for the report."""
+
+    connection_id: int
+    byte_offset: int
+    reason: str
+    domain: str = ""
+    campaign_id: str = ""
+    shard: str = ""
+
+
+class QuarantineLog:
+    """Bounded, append-only incident log (per collector, merged per run)."""
+
+    def __init__(self,
+                 capacity: int = DEFAULT_QUARANTINE_CAPACITY) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._entries: list[QuarantineEntry] = []
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def total(self) -> int:
+        """Every incident seen, retained or not."""
+        return len(self._entries) + self.dropped
+
+    def record(self, entry: QuarantineEntry) -> bool:
+        """Append *entry*; returns False when the bound dropped it."""
+        if len(self._entries) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._entries.append(entry)
+        return True
+
+    def entries(self) -> tuple[QuarantineEntry, ...]:
+        return tuple(self._entries)

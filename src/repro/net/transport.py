@@ -18,6 +18,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.faults.inject import NULL_INJECTOR, FaultInjector, FaultPoint
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.util.simclock import SimClock
 
@@ -56,23 +57,41 @@ class Connection:
     client_inbox: bytearray = field(default_factory=bytearray)
     closed_at_server: Optional[float] = None
     close_initiator: str = ""
+    #: Frame-stage fault hook; attached by the network only when a fault
+    #: plan is active, so fault-free connections pay nothing.
+    fault_point: Optional[FaultPoint] = None
 
     @property
     def is_open(self) -> bool:
         return self.closed_at_server is None
 
-    def client_send(self, data: bytes, now_server: float) -> None:
-        """Deliver client bytes to the server side."""
+    def _closed_detail(self) -> str:
+        """Self-describing closed-state summary for error messages."""
+        initiator = self.close_initiator or "unknown"
+        return (f"connection {self.connection_id} closed by {initiator} "
+                f"at server instant {self.closed_at_server:.3f}")
+
+    def client_send(self, data: bytes, now_server: float,
+                    faultable: bool = False) -> None:
+        """Deliver client bytes to the server side.
+
+        ``faultable=True`` marks application frames eligible for
+        frame-stage fault injection (truncation/bit flips); handshake
+        bytes stay pristine so injected corruption exercises the frame
+        decoder, not the HTTP parser.
+        """
         if not self.is_open:
-            raise ConnectionClosed(f"connection {self.connection_id} is closed")
+            raise ConnectionClosed(f"cannot send on {self._closed_detail()}")
         if now_server < self.opened_at_server:
             raise ValueError("send before connection establishment")
+        if faultable and self.fault_point is not None:
+            data, _ = self.fault_point.mangle(data)
         self.server_inbox.extend(data)
 
     def server_send(self, data: bytes, now_server: float) -> None:
         """Deliver server bytes to the client side."""
         if not self.is_open:
-            raise ConnectionClosed(f"connection {self.connection_id} is closed")
+            raise ConnectionClosed(f"cannot send on {self._closed_detail()}")
         if now_server < self.opened_at_server:
             raise ValueError("send before connection establishment")
         self.client_inbox.extend(data)
@@ -92,7 +111,8 @@ class Connection:
     def close(self, now_server: float, initiator: str = "client") -> None:
         """Tear the connection down; records the server-side close instant."""
         if not self.is_open:
-            raise ConnectionClosed(f"connection {self.connection_id} already closed")
+            raise ConnectionClosed(
+                f"cannot close already-closed {self._closed_detail()}")
         if now_server < self.opened_at_server:
             raise ValueError("close before connection establishment")
         self.closed_at_server = now_server
@@ -135,15 +155,21 @@ class SimulatedNetwork:
 
     def __init__(self, clock: SimClock, rng: random.Random,
                  conditions: Optional[NetworkConditions] = None,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 injector: FaultInjector | None = None) -> None:
         self.clock = clock
         self.rng = rng
         self.conditions = conditions or NetworkConditions()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.faults = injector if injector is not None else NULL_INJECTOR
         self._next_connection_id = 1
         self._accept_callback: Optional[Callable[[Connection], None]] = None
         self.connections: list[Connection] = []
         self.failed_connects = 0
+        #: Why the most recent connect() returned None ("" after success):
+        #: "syn_lost", "fault_refused", or "fault_timeout".  The beacon
+        #: client reads it to charge the right delay before retrying.
+        self.last_connect_failure = ""
 
     def on_accept(self, callback: Callable[[Connection], None]) -> None:
         """Register the server's accept handler (one listener, like the paper)."""
@@ -170,11 +196,32 @@ class SimulatedNetwork:
         """
         if at_time is None:
             at_time = self.clock.now()
+        self.last_connect_failure = ""
+        # The baseline SYN-loss roll always happens first, preserving the
+        # exact draw order of fault-free runs; injected connect faults
+        # only roll afterwards (and only when configured).
         if self.rng.random() < self.conditions.connect_failure_rate:
             self.failed_connects += 1
+            self.last_connect_failure = "syn_lost"
             self.tracer.event("transport.connect", at=at_time,
                               ok=False, reason="syn_lost")
             return None
+        faults = self.faults
+        if faults.active:
+            if faults.fires("connect", "refused"):
+                self.failed_connects += 1
+                self.last_connect_failure = "fault_refused"
+                self.tracer.event("transport.connect", at=at_time,
+                                  ok=False, reason="fault_refused")
+                return None
+            if faults.fires("connect", "timeout"):
+                self.failed_connects += 1
+                self.last_connect_failure = "fault_timeout"
+                self.tracer.event(
+                    "transport.connect", at=at_time, ok=False,
+                    reason="fault_timeout",
+                    timeout_seconds=faults.param("connect", "timeout"))
+                return None
         latency = self.sample_latency()
         connection = Connection(
             client=client,
@@ -184,6 +231,14 @@ class SimulatedNetwork:
             connection_id=self._next_connection_id,
         )
         self._next_connection_id += 1
+        if faults.active:
+            if faults.fires("collector", "backpressure"):
+                # Slow accept: the server notices the connection late, so
+                # the measured open instant (= impression timestamp, and
+                # the floor of the exposure window) shifts by the delay.
+                connection.opened_at_server += faults.param(
+                    "collector", "backpressure")
+            connection.fault_point = faults.point("frame")
         self.connections.append(connection)
         self.tracer.begin("transport.connect", at=at_time, ok=True,
                           connection=connection.connection_id,
@@ -195,9 +250,17 @@ class SimulatedNetwork:
 
     def maybe_drop_mid_stream(self, connection: Connection, now_server: float) -> bool:
         """Roll for a mid-stream failure; closes the connection if it hits."""
-        if connection.is_open and self.rng.random() < self.conditions.mid_stream_failure_rate:
+        if not connection.is_open:
+            return False
+        if self.rng.random() < self.conditions.mid_stream_failure_rate:
             connection.close(now_server, initiator="network")
             self.tracer.event("transport.drop", at=now_server,
                               connection=connection.connection_id)
+            return True
+        if self.faults.fires("stream", "disconnect"):
+            connection.close(now_server, initiator="network")
+            self.tracer.event("transport.drop", at=now_server,
+                              connection=connection.connection_id,
+                              fault=True)
             return True
         return False

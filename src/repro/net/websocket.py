@@ -240,14 +240,27 @@ class FrameDecoder:
     def __init__(self, require_masked: bool = False,
                  max_frame_size: Optional[int] = DEFAULT_MAX_FRAME_SIZE,
                  metrics: Optional[MetricsRegistry] = None,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 connection_id: Optional[int] = None) -> None:
         self._buffer = bytearray()
         self.require_masked = require_masked
         self.max_frame_size = max_frame_size
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Which transport connection this decoder serves; rejection
+        #: diagnostics carry it so quarantine records are addressable.
+        self.connection_id = connection_id
+        #: Absolute stream offset of ``_buffer[0]`` — bytes consumed (or
+        #: dropped by :meth:`reset`) so far.  Frame-start offsets in
+        #: rejection diagnostics are absolute stream positions, stable
+        #: across buffer compactions.
+        self._offset_base = 0
+        #: Where/why the most recent rejection happened (None/"" before).
+        self.last_error_offset: Optional[int] = None
+        self.last_error_reason = ""
         # Sessions of one collector share a registry, so these counters
         # aggregate across every decoder the server creates.
         metrics = metrics if metrics is not None else MetricsRegistry()
+        self._metrics = metrics
         self._bytes_fed = metrics.counter(
             "ws.bytes_fed", help="raw bytes offered to the frame decoder")
         self._frames_decoded = metrics.counter(
@@ -263,6 +276,51 @@ class FrameDecoder:
     def pending_bytes(self) -> int:
         """Bytes buffered but not yet decodable into a complete frame."""
         return len(self._buffer)
+
+    def reset(self) -> int:
+        """Drop every buffered byte (quarantine recovery); returns count.
+
+        After a malformed frame the buffer may hold arbitrary garbage
+        with no reliable frame boundary, so recovery discards it wholly;
+        ``_offset_base`` still advances past the dropped bytes, keeping
+        later rejection offsets absolute.
+        """
+        dropped = len(self._buffer)
+        self._offset_base += dropped
+        try:
+            self._buffer.clear()
+        except BufferError:
+            # A rejection traceback still exports the old buffer (the
+            # decode error keeps its frame's memoryview slice alive);
+            # replace the object instead of resizing it.
+            self._buffer = bytearray()
+        return dropped
+
+    def _reject(self, error: WebSocketError, frame_start: int,
+                reason: str) -> WebSocketError:
+        """Enrich a rejection with connection id + absolute byte offset.
+
+        Returns an exception of the *same class* whose message carries
+        the context (so ``except FrameTooLarge`` etc. keep working),
+        records the incident on the decoder, and labels a per-incident
+        counter — the metrics answer *which* connection/offset failed,
+        not just how many did.
+        """
+        absolute = self._offset_base + frame_start
+        self.last_error_offset = absolute
+        self.last_error_reason = reason
+        connection = ("unknown" if self.connection_id is None
+                      else self.connection_id)
+        # Lazily-created labelled counter: fault-free runs never reject,
+        # so the label series only exists once something actually broke.
+        self._metrics.counter(
+            f"ws.frames_rejected{{connection={connection},"
+            f"offset={absolute},reason={reason}}}",
+            help="frame rejection, labelled by connection/offset/reason"
+        ).inc()
+        return type(error)(
+            f"{error} (connection {connection}, "
+            f"stream byte offset {absolute})")
 
     def feed(self, data: bytes) -> Iterator[Frame]:
         """Buffer *data* and yield every complete frame now available.
@@ -284,18 +342,22 @@ class FrameDecoder:
                         view[offset:], max_frame_size=self.max_frame_size)
                 except IncompleteFrame:
                     return
-                except FrameTooLarge:
+                except FrameTooLarge as error:
                     self._frames_oversized.inc()
                     self._frames_rejected.inc()
-                    raise
-                except WebSocketError:
+                    raise self._reject(error, offset,
+                                       "frame_too_large") from error
+                except WebSocketError as error:
                     self._frames_rejected.inc()
-                    raise
-                offset += consumed
+                    raise self._reject(error, offset,
+                                       "malformed") from error
                 if self.require_masked and not frame.masked:
                     self._frames_rejected.inc()
-                    raise WebSocketError(
-                        "server received unmasked client frame")
+                    raise self._reject(
+                        WebSocketError(
+                            "server received unmasked client frame"),
+                        offset, "unmasked")
+                offset += consumed
                 self._frames_decoded.inc()
                 self.tracer.event("ws.frame", at=self.tracer.now,
                                   opcode=frame.opcode.name.lower(),
@@ -304,7 +366,16 @@ class FrameDecoder:
         finally:
             view.release()
             if offset:
-                del self._buffer[:offset]
+                self._offset_base += offset
+                try:
+                    del self._buffer[:offset]
+                except BufferError:
+                    # Only reachable on a rejection: the in-flight decode
+                    # error's traceback still holds a memoryview slice of
+                    # the buffer, which blocks resizing — copy the tail
+                    # into a fresh buffer instead (read-only slicing is
+                    # always allowed).
+                    self._buffer = self._buffer[offset:]
 
 
 class MessageAssembler:

@@ -244,3 +244,127 @@ class TestFragmentedMessages:
         connection.close(now + 2)
         assert collector.finalize(connection) is None
         assert collector.malformed_messages == 1
+
+
+HELLO_NONCED = HELLO + "|n=00c0ffee00c0ffee"
+
+
+@pytest.fixture
+def fault_setup():
+    # An active-but-quiet plan: retries enabled turns the fault-mode
+    # collector behaviour on (nonce dedup, quarantine) without any
+    # injection dice perturbing the test's own traffic.
+    from repro.faults.inject import FaultInjector
+    from repro.faults.plan import FaultPlan, RetryPolicy
+    plan = FaultPlan(name="test", retry=RetryPolicy(max_attempts=2))
+    clock = SimClock(1000.0)
+    store = ImpressionStore()
+    network = SimulatedNetwork(clock, random.Random(81),
+                               NetworkConditions(connect_failure_rate=0.0,
+                                                 mid_stream_failure_rate=0.0))
+    collector = CollectorServer(store, injector=FaultInjector(plan))
+    collector.attach(network)
+    return collector, store, network
+
+
+def deliver_once(collector, network, hello, close_frame=True):
+    connection, now = open_connection(collector, network)
+    send_text(collector, connection, hello, now)
+    if close_frame:
+        close = encode_frame(Frame(Opcode.CLOSE, b"", masked=True),
+                             rng=random.Random(10))
+        connection.client_send(close, now + 5.0)
+    connection.close(now + 5.0)
+    return collector.finalize(connection)
+
+
+class TestIdempotentIngestion:
+    def test_same_nonce_commits_once(self, fault_setup):
+        collector, store, network = fault_setup
+        first = deliver_once(collector, network, HELLO_NONCED)
+        second = deliver_once(collector, network, HELLO_NONCED)
+        assert first is not None
+        assert second is None
+        assert len(store) == 1
+        assert collector.duplicates == 1
+        assert collector.last_finalize.duplicate
+        assert collector.last_finalize.reason == "duplicate"
+        assert not collector.last_finalize.committed
+
+    def test_distinct_nonces_both_commit(self, fault_setup):
+        collector, store, network = fault_setup
+        assert deliver_once(collector, network,
+                            HELLO + "|n=aaaa") is not None
+        assert deliver_once(collector, network,
+                            HELLO + "|n=bbbb") is not None
+        assert len(store) == 2
+        assert collector.duplicates == 0
+
+    def test_empty_nonce_never_dedups(self, fault_setup):
+        # Legacy beacons without a nonce must keep committing freely.
+        collector, store, network = fault_setup
+        assert deliver_once(collector, network, HELLO) is not None
+        assert deliver_once(collector, network, HELLO) is not None
+        assert len(store) == 2
+        assert collector.duplicates == 0
+
+    def test_inactive_collector_ignores_nonces(self, setup):
+        collector, store, network = setup
+        assert deliver_once(collector, network, HELLO_NONCED) is not None
+        assert deliver_once(collector, network, HELLO_NONCED) is not None
+        assert len(store) == 2
+        assert collector.duplicates == 0
+
+
+class TestQuarantine:
+    @staticmethod
+    def send_corrupt_frame(collector, connection, now):
+        frame = bytearray(encode_frame(
+            Frame(Opcode.TEXT, b"junk", masked=True),
+            rng=random.Random(13)))
+        frame[0] |= 0x40  # reserved bit: decoder rejects the frame
+        connection.client_send(bytes(frame), now)
+        collector.process(connection)
+
+    def test_corrupt_frame_quarantined_session_survives(self, fault_setup):
+        collector, store, network = fault_setup
+        connection, now = open_connection(collector, network)
+        send_text(collector, connection, HELLO_NONCED, now)
+        self.send_corrupt_frame(collector, connection, now + 1)
+        # Later clean traffic on the same connection still counts.
+        send_text(collector, connection, "EVT|kind=click|t=2.0", now + 2)
+        connection.close(now + 3)
+        record = collector.finalize(connection)
+        assert record is not None
+        assert record.clicks == 1
+        assert collector.quarantined_frames == 1
+        assert collector.malformed_messages == 1
+        entries = collector.quarantine.entries()
+        assert len(entries) == 1
+        assert entries[0].connection_id == connection.connection_id
+        assert entries[0].reason == "malformed"
+        assert entries[0].domain == "diario1.es"
+        assert entries[0].campaign_id == "Research-010"
+
+    def test_quarantine_before_hello_has_no_attribution(self, fault_setup):
+        collector, _, network = fault_setup
+        connection, now = open_connection(collector, network)
+        self.send_corrupt_frame(collector, connection, now)
+        entries = collector.quarantine.entries()
+        assert entries[0].domain == ""
+        assert entries[0].campaign_id == ""
+        connection.close(now + 1)
+        assert collector.finalize(connection) is None
+        assert collector.last_finalize.quarantined_frames == 1
+
+    def test_inactive_collector_still_fails_session(self, setup):
+        # The legacy error model is untouched without a fault plan: one
+        # bad frame ends the session and the impression is lost.
+        collector, store, network = setup
+        connection, now = open_connection(collector, network)
+        send_text(collector, connection, HELLO, now)
+        self.send_corrupt_frame(collector, connection, now + 1)
+        connection.close(now + 2)
+        assert collector.finalize(connection) is None
+        assert collector.quarantined_frames == 0
+        assert len(store) == 0

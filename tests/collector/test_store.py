@@ -170,8 +170,21 @@ class TestPersistence:
     def test_load_rejects_non_increasing_ids(self):
         store = ImpressionStore()
         store.insert(make_record(record_id=1))
-        line = store.dumps_jsonl()
+        store.insert(make_record(record_id=2))
+        lines = store.dumps_jsonl().splitlines()
+        decreasing = "\n".join([lines[1], lines[0]]) + "\n"
         with pytest.raises(ValueError, match="strictly increasing"):
+            ImpressionStore.loads_jsonl(decreasing)
+
+    def test_load_rejects_duplicate_ids_distinctly(self):
+        # A repeated id is its own error class (satellite of the fault
+        # layer: duplicate records are a dedup bug, not a sort bug) and
+        # names the offending line and id.
+        store = ImpressionStore()
+        store.insert(make_record(record_id=1))
+        line = store.dumps_jsonl()
+        with pytest.raises(ValueError,
+                           match=r"<string>:2: duplicate record id 1"):
             ImpressionStore.loads_jsonl(line + line)
 
     def test_string_and_path_roundtrips_agree(self, tmp_path):

@@ -113,6 +113,22 @@ class TestSchemaValidation:
         with pytest.raises(BenchSchemaError, match=message):
             validate_bench_document(document)
 
+    def test_faults_field_optional_but_must_be_named(self):
+        # Committed BENCH.json files predate the fault layer, so the
+        # field is optional — but when present it must name the plan.
+        document = minimal_document()
+        validate_bench_document(document)          # no faults fields
+        document["faults"] = "flaky"
+        document["runs"][0]["faults"] = "flaky"
+        validate_bench_document(document)
+        document["faults"] = ""
+        with pytest.raises(BenchSchemaError, match="faults"):
+            validate_bench_document(document)
+        document["faults"] = "flaky"
+        document["runs"][0]["faults"] = 7
+        with pytest.raises(BenchSchemaError, match="faults"):
+            validate_bench_document(document)
+
     def test_two_serial_runs_rejected(self):
         document = minimal_document()
         document["runs"].append(minimal_run("serial"))

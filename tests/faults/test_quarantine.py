@@ -1,0 +1,50 @@
+"""Tests for repro.faults.quarantine — bounded malformed-frame log."""
+
+import pytest
+
+from repro.faults.quarantine import (
+    DEFAULT_QUARANTINE_CAPACITY,
+    QuarantineEntry,
+    QuarantineLog,
+)
+
+
+def make_entry(connection_id=1, byte_offset=0, reason="reserved bits set"):
+    return QuarantineEntry(connection_id=connection_id,
+                           byte_offset=byte_offset, reason=reason)
+
+
+def test_records_until_capacity_then_counts_drops():
+    log = QuarantineLog(capacity=2)
+    assert log.record(make_entry(1))
+    assert log.record(make_entry(2))
+    assert not log.record(make_entry(3))
+    assert not log.record(make_entry(4))
+    assert len(log) == 2
+    assert log.dropped == 2
+    assert log.total == 4
+    assert [entry.connection_id for entry in log.entries()] == [1, 2]
+
+
+def test_zero_capacity_keeps_nothing_but_still_counts():
+    log = QuarantineLog(capacity=0)
+    assert not log.record(make_entry())
+    assert log.entries() == ()
+    assert log.total == 1
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError, match="capacity"):
+        QuarantineLog(capacity=-1)
+
+
+def test_default_capacity_is_bounded():
+    assert QuarantineLog().capacity == DEFAULT_QUARANTINE_CAPACITY
+
+
+def test_entries_snapshot_is_immutable():
+    log = QuarantineLog()
+    log.record(make_entry())
+    snapshot = log.entries()
+    log.record(make_entry(2))
+    assert len(snapshot) == 1

@@ -204,3 +204,107 @@ class TestMidStreamDrop:
         connection.close(connection.opened_at_server + 1.0)
         assert not network.maybe_drop_mid_stream(
             connection, connection.opened_at_server + 2.0)
+
+
+class TestClosedErrorMessages:
+    """Closed-connection errors are self-describing: who closed, when."""
+
+    def test_send_error_names_initiator_and_server_instant(self):
+        network, _ = make_network()
+        connection = network.connect(CLIENT, SERVER, at_time=1000.0)
+        close_at = connection.opened_at_server + 5.0
+        connection.close(close_at, initiator="network")
+        with pytest.raises(ConnectionClosed) as excinfo:
+            connection.client_send(b"x", close_at + 1.0)
+        message = str(excinfo.value)
+        assert f"connection {connection.connection_id}" in message
+        assert "closed by network" in message
+        assert f"at server instant {close_at:.3f}" in message
+
+    def test_server_send_error_carries_same_detail(self):
+        network, _ = make_network()
+        connection = network.connect(CLIENT, SERVER, at_time=1000.0)
+        close_at = connection.opened_at_server + 2.0
+        connection.close(close_at)
+        with pytest.raises(ConnectionClosed, match="closed by client"):
+            connection.server_send(b"x", close_at + 1.0)
+
+    def test_double_close_error_names_original_initiator(self):
+        network, _ = make_network()
+        connection = network.connect(CLIENT, SERVER, at_time=1000.0)
+        close_at = connection.opened_at_server + 1.0
+        connection.close(close_at, initiator="network")
+        with pytest.raises(ConnectionClosed) as excinfo:
+            connection.close(close_at + 1.0, initiator="client")
+        message = str(excinfo.value)
+        assert "cannot close already-closed" in message
+        assert "closed by network" in message
+        assert f"{close_at:.3f}" in message
+
+
+class TestFaultInjection:
+    """Injected connect/stream faults layered over the baseline model."""
+
+    @staticmethod
+    def make_faulty_network(*specs, seed=0):
+        from repro.faults.inject import FaultInjector
+        from repro.faults.plan import FaultPlan, FaultSpec
+        plan = FaultPlan(name="test",
+                         specs=tuple(FaultSpec(*spec) for spec in specs))
+        network, clock = make_network(seed=seed)
+        network.faults = FaultInjector(plan, random.Random(seed + 1))
+        return network, clock
+
+    def test_refused_connect_sets_failure_reason(self):
+        network, _ = self.make_faulty_network(("connect", "refused", 1.0))
+        assert network.connect(CLIENT, SERVER, at_time=1000.0) is None
+        assert network.last_connect_failure == "fault_refused"
+        assert network.failed_connects == 1
+
+    def test_timeout_connect_sets_failure_reason(self):
+        network, _ = self.make_faulty_network(
+            ("connect", "timeout", 1.0, 0.75))
+        assert network.connect(CLIENT, SERVER, at_time=1000.0) is None
+        assert network.last_connect_failure == "fault_timeout"
+
+    def test_success_clears_failure_reason(self):
+        network, _ = self.make_faulty_network(("stream", "disconnect", 1.0))
+        network.last_connect_failure = "fault_refused"
+        assert network.connect(CLIENT, SERVER, at_time=1000.0) is not None
+        assert network.last_connect_failure == ""
+
+    def test_backpressure_shifts_server_open_instant(self):
+        delay = 2.5
+        network, _ = self.make_faulty_network(
+            ("collector", "backpressure", 1.0, delay))
+        baseline, _ = make_network(seed=0)
+        shifted = network.connect(CLIENT, SERVER, at_time=1000.0)
+        plain = baseline.connect(CLIENT, SERVER, at_time=1000.0)
+        assert shifted.opened_at_server == pytest.approx(
+            plain.opened_at_server + delay)
+
+    def test_injected_disconnect_closes_mid_stream(self):
+        network, _ = self.make_faulty_network(("stream", "disconnect", 1.0))
+        connection = network.connect(CLIENT, SERVER, at_time=1000.0)
+        assert network.maybe_drop_mid_stream(
+            connection, connection.opened_at_server + 1.0)
+        assert connection.close_initiator == "network"
+
+    def test_faulty_connection_carries_frame_point(self):
+        network, _ = self.make_faulty_network(("frame", "truncate", 0.5))
+        connection = network.connect(CLIENT, SERVER, at_time=1000.0)
+        assert connection.fault_point is not None
+        assert connection.fault_point.stage == "frame"
+        baseline, _ = make_network()
+        assert baseline.connect(CLIENT, SERVER).fault_point is None
+
+    def test_inactive_injector_preserves_baseline_draws(self):
+        # Wiring the null injector must not consume RNG or change timing.
+        network, _ = make_network(seed=42)
+        plain = network.connect(CLIENT, SERVER, at_time=1000.0)
+        network2, _ = make_network(seed=42)
+        from repro.faults.inject import NULL_INJECTOR
+        network2.faults = NULL_INJECTOR
+        wired = network2.connect(CLIENT, SERVER, at_time=1000.0)
+        assert wired.opened_at_server == plain.opened_at_server
+        assert wired.latency == plain.latency

@@ -312,3 +312,84 @@ class TestHandshake:
     def test_rejects_non_ascii(self):
         with pytest.raises(WebSocketError):
             parse_handshake_request("GET / HTTP/1.1\r\nHøst: x\r\n\r\n".encode("utf-8"))
+
+
+class TestRejectionDiagnostics:
+    """Rejections name the connection and the absolute stream offset."""
+
+    @staticmethod
+    def good_frame(payload=b"ok"):
+        return encode_frame(Frame(Opcode.TEXT, payload, masked=True),
+                            mask_key=b"\x01\x02\x03\x04")
+
+    @staticmethod
+    def bad_frame():
+        wire = bytearray(TestRejectionDiagnostics.good_frame())
+        wire[0] |= 0x40  # set a reserved bit
+        return bytes(wire)
+
+    def test_malformed_frame_error_names_connection_and_offset(self):
+        decoder = FrameDecoder(connection_id=77)
+        prefix = self.good_frame()
+        with pytest.raises(WebSocketError) as excinfo:
+            list(decoder.feed(prefix + self.bad_frame()))
+        message = str(excinfo.value)
+        assert "connection 77" in message
+        assert f"stream byte offset {len(prefix)}" in message
+        assert decoder.last_error_offset == len(prefix)
+        assert decoder.last_error_reason == "malformed"
+
+    def test_offset_is_absolute_across_compactions(self):
+        # Feed (and fully consume) a frame first, then reject: the
+        # reported offset counts from the start of the stream, not from
+        # the start of the current buffer.
+        decoder = FrameDecoder(connection_id=5)
+        prefix = self.good_frame(b"first")
+        assert len(list(decoder.feed(prefix))) == 1
+        with pytest.raises(WebSocketError,
+                           match=f"stream byte offset {len(prefix)}"):
+            list(decoder.feed(self.bad_frame()))
+
+    def test_oversized_frame_keeps_its_class_and_gains_context(self):
+        from repro.net.websocket import FrameTooLarge
+        decoder = FrameDecoder(max_frame_size=4, connection_id=9)
+        with pytest.raises(FrameTooLarge, match="connection 9"):
+            list(decoder.feed(self.good_frame(b"way too long")))
+        assert decoder.last_error_reason == "frame_too_large"
+
+    def test_unmasked_rejection_reports_reason(self):
+        decoder = FrameDecoder(require_masked=True, connection_id=3)
+        unmasked = encode_frame(Frame(Opcode.TEXT, b"hi"))
+        with pytest.raises(WebSocketError, match="connection 3"):
+            list(decoder.feed(unmasked))
+        assert decoder.last_error_reason == "unmasked"
+
+    def test_rejection_registers_labelled_counter(self):
+        from repro.obs.metrics import MetricsRegistry
+        metrics = MetricsRegistry()
+        decoder = FrameDecoder(metrics=metrics, connection_id=42)
+        with pytest.raises(WebSocketError):
+            list(decoder.feed(self.bad_frame()))
+        names = [name for name, _, value in metrics.snapshot().counters
+                 if value > 0]
+        assert ("ws.frames_rejected{connection=42,offset=0,"
+                "reason=malformed}") in names
+
+    def test_unknown_connection_labelled_as_unknown(self):
+        decoder = FrameDecoder()
+        with pytest.raises(WebSocketError, match="connection unknown"):
+            list(decoder.feed(self.bad_frame()))
+
+    def test_reset_drops_buffer_and_advances_offset(self):
+        decoder = FrameDecoder(connection_id=8)
+        with pytest.raises(WebSocketError):
+            list(decoder.feed(self.bad_frame() + b"garbage tail"))
+        dropped = decoder.reset()
+        assert dropped > 0
+        # The next rejection's offset accounts for the dropped bytes.
+        with pytest.raises(WebSocketError) as excinfo:
+            list(decoder.feed(self.bad_frame()))
+        assert f"stream byte offset {dropped}" in str(excinfo.value)
+        # And a well-formed frame still decodes after recovery.
+        decoder.reset()
+        assert len(list(decoder.feed(self.good_frame()))) == 1
