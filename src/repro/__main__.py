@@ -193,9 +193,11 @@ def build_bench_parser() -> argparse.ArgumentParser:
                              f"default small")
     parser.add_argument("--seed", type=int, default=2016,
                         help="master seed (default 2016)")
-    parser.add_argument("--jobs", type=int, default=2,
-                        help="worker processes for the parallel run "
-                             "(default 2)")
+    parser.add_argument("--jobs", default="2",
+                        help="worker counts for the parallel runs: one "
+                             "integer or a comma-separated sweep such as "
+                             "1,2,4 (default 2); each value above 1 gets "
+                             "its own parallel probe and a sweep entry")
     parser.add_argument("--out", metavar="PATH", default="BENCH.json",
                         help="output document path (default BENCH.json)")
     parser.add_argument("--skip-baseline", action="store_true",
@@ -228,8 +230,12 @@ def run_bench(argv: list[str]) -> int:
     from repro.experiments import bench
 
     args = build_bench_parser().parse_args(argv)
-    if args.jobs < 1:
-        print("--jobs must be at least 1", file=sys.stderr)
+    try:
+        raw_jobs = [int(part) for part in str(args.jobs).split(",")
+                    if part.strip()]
+        jobs_values = list(bench.normalize_jobs(raw_jobs))
+    except ValueError as error:
+        print(f"--jobs: {error}", file=sys.stderr)
         return 2
     try:
         scale = bench.resolve_scale(args.scale)
@@ -239,15 +245,20 @@ def run_bench(argv: list[str]) -> int:
 
     if args.probe:
         # Internal mode: one measurement in this (fresh) interpreter,
-        # reported as a single JSON object on stdout.
-        row = bench.run_probe(args.seed, scale, jobs=args.jobs,
+        # reported as a single JSON object on stdout.  The raw value is
+        # the probe's worker count — normalize_jobs would fold in the
+        # serial anchor, which only makes sense for sweep documents.
+        if len(raw_jobs) != 1:
+            print("--probe measures a single jobs value", file=sys.stderr)
+            return 2
+        row = bench.run_probe(args.seed, scale, jobs=raw_jobs[0],
                               reference=args.reference,
                               faults=args.faults)
         print(json.dumps(row, sort_keys=True, allow_nan=False))
         return 0
 
     document = bench.run_bench(
-        seed=args.seed, scale=scale, jobs=args.jobs,
+        seed=args.seed, scale=scale, jobs=jobs_values,
         include_baseline=not args.skip_baseline,
         subprocess_probes=not args.in_process,
         faults=args.faults,
@@ -256,19 +267,27 @@ def run_bench(argv: list[str]) -> int:
 
     serial = next(run for run in document["runs"]
                   if run["mode"] == "serial")
-    parallel = next((run for run in document["runs"]
-                     if run["mode"] == "parallel"), None)
     lines = [
-        f"serial:   {serial['wall_seconds']:.2f}s wall, "
+        f"serial:   {serial['wall_seconds']:.2f}s wall "
+        f"({serial['warm_wall_seconds']:.2f}s warm), "
         f"{serial['impressions_per_second']:.0f} impressions/s, "
         f"peak RSS {serial['peak_rss_bytes'] / (1 << 20):.0f} MiB",
     ]
-    if parallel is not None:
+    sweep_by_jobs = {entry["jobs"]: entry
+                     for entry in document.get("sweep", ())}
+    for parallel in (run for run in document["runs"]
+                     if run["mode"] == "parallel"):
+        entry = sweep_by_jobs.get(parallel["jobs"])
+        speedups = "" if entry is None else (
+            f", {entry['end_to_end_speedup']:.2f}x end-to-end / "
+            f"{entry['warm_speedup']:.2f}x warm vs serial")
         lines.append(
             f"parallel: {parallel['wall_seconds']:.2f}s wall "
-            f"(--jobs {parallel['jobs']}), "
+            f"({parallel['warm_wall_seconds']:.2f}s warm, "
+            f"--jobs {parallel['jobs']}), "
             f"{parallel['impressions_per_second']:.0f} impressions/s, "
-            f"peak RSS {parallel['peak_rss_bytes'] / (1 << 20):.0f} MiB")
+            f"peak RSS {parallel['peak_rss_bytes'] / (1 << 20):.0f} MiB"
+            f"{speedups}")
     comparison = document.get("comparison")
     if comparison is not None:
         lines.append(

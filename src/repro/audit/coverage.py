@@ -88,6 +88,13 @@ class CoverageCounts:
     def __init__(self) -> None:
         self.cells: dict[tuple[str, str], CoverageCell] = {}
 
+    def __eq__(self, other: object) -> bool:
+        # Value equality (cell-for-cell) so a counts instance that
+        # crossed a process boundary compares equal to its source.
+        if not isinstance(other, CoverageCounts):
+            return NotImplemented
+        return self.cells == other.cells
+
     def cell(self, domain: str, campaign_id: str) -> CoverageCell:
         key = (domain, campaign_id)
         found = self.cells.get(key)

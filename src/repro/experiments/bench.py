@@ -37,19 +37,26 @@ from typing import Optional
 
 from repro.experiments.config import paper_experiment
 from repro.experiments.parallel import ParallelExperimentRunner
+from repro.experiments.parallel import _world_for as _parallel_world_for
 from repro.faults.plan import FaultPlan
 from repro.obs.metrics import WALL, MetricsSnapshot
 from repro.util import hotpath
 
 #: Document format identifier; bump when the layout changes shape.
-BENCH_SCHEMA = "repro-bench/1"
+#: v2: per-run ``cold_start_seconds``/``warm_wall_seconds`` split, a
+#: ``--jobs`` sweep (``jobs`` is a list, multiple parallel runs, a
+#: ``sweep`` section with end-to-end and warm speedups per worker count).
+BENCH_SCHEMA = "repro-bench/2"
 
 #: Named world scales for the common invocations.  ``tiny`` is the CI
-#: smoke size; numbers are the ``--scale`` world factor.
+#: smoke size; ``large``/``huge`` reach the 10⁶–10⁷-pageview volumes the
+#: paper's methodology targets.  Numbers are the ``--scale`` world factor.
 SCALE_PRESETS: dict[str, float] = {
     "tiny": 0.01,
     "small": 0.02,
     "medium": 0.05,
+    "large": 0.2,
+    "huge": 2.0,
 }
 
 _RUN_MODES = ("serial", "parallel", "reference-serial")
@@ -121,11 +128,18 @@ def run_probe(seed: int, scale: float, jobs: int = 1,
     mode = "reference-serial" if reference \
         else ("serial" if jobs == 1 else "parallel")
     with hotpath.reference_hotpaths(reference):
+        config = paper_experiment(seed=seed, scale=scale, faults=plan)
+        # Cold start (world build) and warm shard work are reported as
+        # separate fields: folding the one-off setup into the number used
+        # for speedups understates real shard throughput.  Warming the
+        # per-process cache here is exactly what the runner would do.
         started = time.perf_counter()
-        result = ParallelExperimentRunner(
-            paper_experiment(seed=seed, scale=scale, faults=plan),
-            jobs=jobs).run()
-        wall_seconds = time.perf_counter() - started
+        _parallel_world_for(config)
+        cold_start_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        result = ParallelExperimentRunner(config, jobs=jobs).run()
+        warm_wall_seconds = time.perf_counter() - started
+    wall_seconds = cold_start_seconds + warm_wall_seconds
     pageviews = result.stats["pageviews"]
     delivered = result.stats["delivered"]
     return {
@@ -134,11 +148,13 @@ def run_probe(seed: int, scale: float, jobs: int = 1,
         "reference": reference,
         "faults": plan.name,
         "wall_seconds": wall_seconds,
+        "cold_start_seconds": cold_start_seconds,
+        "warm_wall_seconds": warm_wall_seconds,
         "pageviews": pageviews,
         "delivered": delivered,
         "logged": result.stats["logged"],
-        "pageviews_per_second": pageviews / wall_seconds,
-        "impressions_per_second": delivered / wall_seconds,
+        "pageviews_per_second": pageviews / warm_wall_seconds,
+        "impressions_per_second": delivered / warm_wall_seconds,
         "peak_rss_bytes": _peak_rss_bytes(),
         "stage_wall_seconds": _stage_wall_seconds(result.metrics),
     }
@@ -206,18 +222,35 @@ def mask_microbenchmark(payload_bytes: int = _MASK_PAYLOAD_BYTES) -> dict:
 # ---------------------------------------------------------------------- #
 
 
+def normalize_jobs(jobs) -> tuple[int, ...]:
+    """Normalise a ``jobs`` argument (int or iterable) to a sorted,
+    de-duplicated sweep tuple; always includes 1 (the serial anchor)."""
+    values = (jobs,) if isinstance(jobs, int) else tuple(jobs)
+    if not values:
+        raise ValueError("jobs must name at least one worker count")
+    for value in values:
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            raise ValueError(f"jobs values must be integers >= 1: {value!r}")
+    return tuple(sorted({1, *values}))
+
+
 def run_bench(seed: int = 2016, scale: float = SCALE_PRESETS["small"],
-              jobs: int = 2, include_baseline: bool = True,
+              jobs=2, include_baseline: bool = True,
               subprocess_probes: bool = True, faults: str = "none",
               progress=None) -> dict:
-    """Measure the scenario (serial, parallel, optional reference baseline)
-    plus the masking microbenchmark; returns the validated BENCH document.
+    """Measure the scenario (serial, a ``--jobs`` sweep of parallel runs,
+    optional reference baseline) plus the masking microbenchmark; returns
+    the validated BENCH document.
 
+    ``jobs`` is a worker count or an iterable of them — each value above
+    1 gets its own parallel probe, and the ``sweep`` section reports the
+    end-to-end and warm speedups against the serial run.
     ``subprocess_probes=False`` runs every probe in-process (faster, used
     by tests); the default isolates each probe in a fresh interpreter.
     ``faults`` names the fault plan every scenario probe runs under.
     """
     plan = FaultPlan.resolve(faults)
+    jobs_values = normalize_jobs(jobs)
 
     def note(message: str) -> None:
         if progress is not None:
@@ -232,9 +265,21 @@ def run_bench(seed: int = 2016, scale: float = SCALE_PRESETS["small"],
 
     note(f"probing serial run (scale={scale}, faults={plan.name}) ...")
     serial = probe(1, False)
-    note(f"probing parallel run (--jobs {jobs}) ...")
-    parallel = probe(jobs, False)
-    runs = [serial, parallel]
+    runs = [serial]
+    sweep = []
+    for value in jobs_values:
+        if value == 1:
+            continue
+        note(f"probing parallel run (--jobs {value}) ...")
+        parallel = probe(value, False)
+        runs.append(parallel)
+        sweep.append({
+            "jobs": value,
+            "end_to_end_speedup": (serial["wall_seconds"]
+                                   / parallel["wall_seconds"]),
+            "warm_speedup": (serial["warm_wall_seconds"]
+                             / parallel["warm_wall_seconds"]),
+        })
 
     document = {
         "schema": BENCH_SCHEMA,
@@ -243,11 +288,13 @@ def run_bench(seed: int = 2016, scale: float = SCALE_PRESETS["small"],
         "platform": sys.platform,
         "seed": seed,
         "scale": scale,
-        "jobs": jobs,
+        "jobs": list(jobs_values),
         "faults": plan.name,
         "shard_slices": paper_experiment(seed=seed, scale=scale).shard_slices,
         "runs": runs,
     }
+    if sweep:
+        document["sweep"] = sweep
     if include_baseline:
         note("probing reference baseline (pre-optimization hot paths) ...")
         baseline = probe(1, True)
@@ -321,6 +368,10 @@ def _check_run(run: dict, name: str) -> None:
                  f"{name}.faults must be a non-empty string")
     _check_number(run.get("wall_seconds"), f"{name}.wall_seconds",
                   minimum=0.0, strict=True)
+    _check_number(run.get("cold_start_seconds"),
+                  f"{name}.cold_start_seconds", minimum=0.0)
+    _check_number(run.get("warm_wall_seconds"),
+                  f"{name}.warm_wall_seconds", minimum=0.0, strict=True)
     for field in ("pageviews", "delivered", "logged", "peak_rss_bytes"):
         _check_int(run.get(field), f"{name}.{field}")
     for field in ("pageviews_per_second", "impressions_per_second"):
@@ -357,7 +408,13 @@ def validate_bench_document(document: dict) -> None:
                  f"{field} must be a non-empty string")
     _check_int(document.get("seed"), "seed")
     _check_number(document.get("scale"), "scale", minimum=0.0, strict=True)
-    _check_int(document.get("jobs"), "jobs", minimum=1)
+    jobs = document.get("jobs")
+    _require(isinstance(jobs, list) and jobs,
+             f"jobs must be a non-empty list of worker counts: {jobs!r}")
+    for index, value in enumerate(jobs):
+        _check_int(value, f"jobs[{index}]", minimum=1)
+    _require(jobs == sorted(set(jobs)),
+             f"jobs must be sorted and de-duplicated: {jobs!r}")
     if "faults" in document:
         _require(isinstance(document["faults"], str) and document["faults"],
                  "faults must be a non-empty string")
@@ -370,9 +427,28 @@ def validate_bench_document(document: dict) -> None:
     modes = [run["mode"] for run in runs]
     _require(modes.count("serial") == 1,
              "runs must contain exactly one serial run")
-    for mode in ("parallel", "reference-serial"):
-        _require(modes.count(mode) <= 1,
-                 f"runs must contain at most one {mode} run")
+    _require(modes.count("reference-serial") <= 1,
+             "runs must contain at most one reference-serial run")
+    parallel_jobs = [run["jobs"] for run in runs
+                     if run["mode"] == "parallel"]
+    _require(len(parallel_jobs) == len(set(parallel_jobs)),
+             "parallel runs must have distinct jobs values")
+    for value in parallel_jobs:
+        _require(value >= 2, "parallel runs must use jobs >= 2")
+
+    sweep = document.get("sweep")
+    if sweep is not None:
+        _require(isinstance(sweep, list) and sweep,
+                 "sweep must be a non-empty list")
+        for index, entry in enumerate(sweep):
+            name = f"sweep[{index}]"
+            _require(isinstance(entry, dict), f"{name} must be an object")
+            _check_int(entry.get("jobs"), f"{name}.jobs", minimum=2)
+            _require(entry["jobs"] in parallel_jobs,
+                     f"{name}.jobs has no matching parallel run")
+            for field in ("end_to_end_speedup", "warm_speedup"):
+                _check_number(entry.get(field), f"{name}.{field}",
+                              minimum=0.0, strict=True)
 
     comparison = document.get("comparison")
     if comparison is not None:

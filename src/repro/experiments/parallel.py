@@ -26,17 +26,37 @@ that exhausts its retries is marked *lost* and the run degrades
 gracefully: the merge proceeds without it and the coverage report names
 the lost scope.  Serial (``jobs=1``) and pooled execution share the same
 recovery policy, keeping their outputs identical even under crashes.
+When a broken pool forces the inline fallback, each unsettled shard
+resumes from the attempt it had already accrued — never from zero — so
+the fault plan's per-attempt crash decisions stay consistent with the
+pooled history.
 
-Worker processes rebuild the (config-deterministic) world once each and
-cache it; on platforms that fork, the parent builds it *before* creating
-the pool so children inherit it copy-on-write instead.  Shards are
-submitted largest-first so the long poles start early (the classic LPT
-heuristic) — a scheduling detail that cannot affect the output.
+Three things keep the pooled hot path cheap:
+
+* **Warm workers.** The pool uses the explicit ``fork`` start method
+  where the platform offers one, and the parent builds the world *before*
+  creating the pool so children inherit the per-process cache
+  copy-on-write.  On spawn-only platforms a pool initializer builds the
+  world once per worker at startup instead of lazily on first task.
+* **Compact wire format.** Workers return :func:`pack_shard_output`
+  blobs (:mod:`repro.experiments.wire`) rather than whole pickled
+  ``ShardOutput`` objects — an order of magnitude fewer bytes cross the
+  process boundary per shard.
+* **Merge-as-you-go.** Completed shards fold into a
+  :class:`~repro.experiments.runner.ShardMerger` as soon as the canonical
+  plan order allows, overlapping merge work with still-running shards
+  instead of paying a post-hoc barrier.  Out-of-order completions wait in
+  a buffer *as packed bytes* and are only unpacked at fold time.
+
+Shards are submitted largest-first so the long poles start early (the
+classic LPT heuristic) — a scheduling detail that cannot affect the
+output.
 """
 
 from __future__ import annotations
 
-import functools
+import multiprocessing
+from collections import OrderedDict
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 
@@ -44,20 +64,24 @@ from repro.experiments.config import ExperimentConfig, paper_experiment
 from repro.experiments.runner import (
     DEFAULT_SHARD_RETRIES,
     ExperimentResult,
+    ShardMerger,
     ShardOutput,
     ShardSpec,
     World,
     build_world,
-    merge_shard_outputs,
     plan_shards,
     run_shard,
 )
+from repro.experiments.wire import pack_shard_output, unpack_shard_output
 from repro.faults.plan import ShardCrashError
 
 #: Per-process world cache.  ExperimentConfig is a frozen dataclass of
 #: hashable parts, so the config itself is the key; a worker that serves
 #: several shards of one experiment builds the world exactly once.
 _WORLD_CACHE: dict[ExperimentConfig, World] = {}
+
+#: Buffer marker for a shard that exhausted its retries in the pool.
+_LOST = object()
 
 
 def _world_for(config: ExperimentConfig) -> World:
@@ -68,16 +92,54 @@ def _world_for(config: ExperimentConfig) -> World:
     return world
 
 
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """The explicit ``fork`` context where the platform provides one.
+
+    Forked workers inherit the parent's already-populated
+    ``_WORLD_CACHE`` copy-on-write, so they start warm for free.  On
+    spawn-only platforms the default context is used and
+    :func:`_warm_worker` does the warm-up once per worker instead.
+    """
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _warm_worker(config: ExperimentConfig) -> None:
+    """Pool initializer: build the world once, at worker startup.
+
+    Under fork this finds the inherited cache entry and is a no-op; under
+    spawn it moves the world build out of the first task's latency.
+    """
+    _world_for(config)
+
+
 def _run_shard_job(config: ExperimentConfig, shard: ShardSpec,
                    attempt: int = 0) -> ShardOutput:
     """Worker entry point: simulate one shard in this process."""
     return run_shard(config, shard, _world_for(config), attempt=attempt)
 
 
+def _run_shard_job_packed(config: ExperimentConfig, shard: ShardSpec,
+                          attempt: int = 0) -> bytes:
+    """Worker entry point returning the compact wire encoding.
+
+    Packing on the worker side keeps the bytes crossing the process
+    boundary an order of magnitude smaller than a pickled
+    :class:`ShardOutput`; the parent unpacks lazily at fold time.
+    """
+    return pack_shard_output(_run_shard_job(config, shard, attempt=attempt))
+
+
 def _run_recovering(config: ExperimentConfig, shard: ShardSpec,
                     world: World, retries: int,
                     first_attempt: int = 0) -> ShardOutput | None:
-    """Run one shard in-process with crash recovery; None when lost."""
+    """Run one shard in-process with crash recovery; None when lost.
+
+    ``first_attempt`` resumes a shard that already burned attempts
+    elsewhere (a crashed-then-resubmitted shard stranded by a broken
+    pool) without resetting the fault plan's attempt counter.
+    """
     for attempt in range(first_attempt, retries + 1):
         try:
             return run_shard(config, shard, world, attempt=attempt)
@@ -111,31 +173,59 @@ class ParallelExperimentRunner:
         shards = plan_shards(config)
         # Built before the pool exists: forked workers inherit it.
         world = _world_for(config)
+        merger = ShardMerger(config, world)
         if self.jobs <= 1 or len(shards) <= 1:
-            outputs: list[ShardOutput | None] = [
-                _run_recovering(config, shard, world, self.shard_retries)
-                for shard in shards]
+            for shard in shards:
+                output = _run_recovering(config, shard, world,
+                                         self.shard_retries)
+                if output is None:
+                    merger.fold_lost(shard.scope)
+                else:
+                    merger.fold(output)
         else:
-            outputs = self._run_pooled(shards, world)
-        lost = tuple(shards[index].scope
-                     for index, output in enumerate(outputs)
-                     if output is None)
-        kept = [output for output in outputs if output is not None]
-        return merge_shard_outputs(config, world, kept, lost=lost)
+            self._run_pooled(shards, world, merger)
+        return merger.result()
 
-    def _run_pooled(self, shards: list[ShardSpec],
-                    world: World) -> list[ShardOutput | None]:
-        """Fan shards out to a process pool, resubmitting crashed ones."""
+    def _run_pooled(self, shards: list[ShardSpec], world: World,
+                    merger: ShardMerger) -> None:
+        """Fan shards out to a warm process pool, folding as they settle.
+
+        Settled shards are buffered as packed bytes and folded into
+        ``merger`` the moment canonical plan order allows — the merge
+        overlaps with still-running shards instead of waiting for all of
+        them.  Crashed shards are resubmitted with an incremented
+        attempt; if the pool itself breaks, the unsettled shards finish
+        inline, each resuming from its recorded attempt.
+        """
         config = self.config
         submit_order = sorted(range(len(shards)),
                               key=lambda i: (-shards[i].weight, i))
-        outputs: list[ShardOutput | None] = [None] * len(shards)
+        # index -> packed bytes | ShardOutput (inline fallback) | _LOST
+        ready: dict[int, object] = {}
+        attempts = [0] * len(shards)
         settled = [False] * len(shards)
+        next_fold = 0
+
+        def fold_ready() -> None:
+            nonlocal next_fold
+            while next_fold < len(shards) and next_fold in ready:
+                item = ready.pop(next_fold)
+                if item is _LOST:
+                    merger.fold_lost(shards[next_fold].scope)
+                elif isinstance(item, bytes):
+                    merger.fold(unpack_shard_output(item, config, world))
+                else:
+                    merger.fold(item)
+                next_fold += 1
+
         try:
             with ProcessPoolExecutor(
-                    max_workers=min(self.jobs, len(shards))) as pool:
+                    max_workers=min(self.jobs, len(shards)),
+                    mp_context=_pool_context(),
+                    initializer=_warm_worker,
+                    initargs=(config,)) as pool:
                 pending = {
-                    pool.submit(_run_shard_job, config, shards[index],
+                    pool.submit(_run_shard_job_packed, config, shards[index],
                                 0): (index, 0)
                     for index in submit_order}
                 while pending:
@@ -143,34 +233,63 @@ class ParallelExperimentRunner:
                     for future in done:
                         index, attempt = pending.pop(future)
                         try:
-                            outputs[index] = future.result()
+                            ready[index] = future.result()
                             settled[index] = True
                         except ShardCrashError:
                             if attempt < self.shard_retries:
+                                attempts[index] = attempt + 1
                                 retry = pool.submit(
-                                    _run_shard_job, config, shards[index],
-                                    attempt + 1)
+                                    _run_shard_job_packed, config,
+                                    shards[index], attempt + 1)
                                 pending[retry] = (index, attempt + 1)
                             else:
+                                ready[index] = _LOST
                                 settled[index] = True
+                    fold_ready()
         except BrokenProcessPool:
             # The pool died under us (a worker was killed hard).  Finish
             # the unsettled shards in-process — slower, never wrong.
             pass
-        for index, done_flag in enumerate(settled):
-            if not done_flag and outputs[index] is None:
-                outputs[index] = _run_recovering(
-                    config, shards[index], world, self.shard_retries)
-        return outputs
+        for index in range(len(shards)):
+            if not settled[index]:
+                output = _run_recovering(config, shards[index], world,
+                                         self.shard_retries,
+                                         first_attempt=attempts[index])
+                ready[index] = _LOST if output is None else output
+        fold_ready()
 
 
-@functools.lru_cache(maxsize=4)
+#: Memo for :func:`run_paper_experiment_parallel`, keyed on
+#: ``(seed, scale)`` only — ``jobs`` changes how fast the result arrives,
+#: never its bytes, so different worker counts share one cache entry.
+_RESULT_MEMO: OrderedDict[tuple[int, float], ExperimentResult] = OrderedDict()
+_RESULT_MEMO_MAX = 4
+
+
 def run_paper_experiment_parallel(seed: int = 2016, scale: float = 1.0,
                                   jobs: int = 1) -> ExperimentResult:
     """Parallel (and memoised) variant of ``run_paper_experiment``.
 
     Returns a result byte-identical to the serial function at the same
-    (seed, scale); ``jobs`` only changes how fast it arrives.
+    (seed, scale); ``jobs`` only changes how fast it arrives — which is
+    why it is deliberately *not* part of the memo key.
     """
-    return ParallelExperimentRunner(paper_experiment(seed=seed, scale=scale),
-                                    jobs=jobs).run()
+    key = (seed, scale)
+    found = _RESULT_MEMO.get(key)
+    if found is not None:
+        _RESULT_MEMO.move_to_end(key)
+        return found
+    result = ParallelExperimentRunner(
+        paper_experiment(seed=seed, scale=scale), jobs=jobs).run()
+    _RESULT_MEMO[key] = result
+    while len(_RESULT_MEMO) > _RESULT_MEMO_MAX:
+        _RESULT_MEMO.popitem(last=False)
+    return result
+
+
+def _clear_result_memo() -> None:
+    """Test hook: forget memoised experiment results."""
+    _RESULT_MEMO.clear()
+
+
+run_paper_experiment_parallel.cache_clear = _clear_result_memo

@@ -491,169 +491,227 @@ def run_shard(config: ExperimentConfig, shard: ShardSpec,
 # ---------------------------------------------------------------------- #
 
 
+class ShardMerger:
+    """Incremental canonical-order fold of shard outputs into one result.
+
+    The batch merge used to hold every :class:`ShardOutput` alive until
+    the last shard finished, then walk the full list several times — at
+    millions of impressions that barrier is both the peak-memory and the
+    tail-latency bottleneck of a parallel run.  This class is the same
+    deterministic reduction restructured as a fold: :meth:`fold` absorbs
+    one output (which can then be garbage-collected) and :meth:`result`
+    finalises.  Every order-sensitive reduction — record
+    re-identification, impression re-numbering, float sums of
+    charges/refunds, conversion concatenation — happens inside
+    :meth:`fold`, so outputs MUST be folded in the order
+    :func:`plan_shards` produced; all reductions are associative, which
+    makes the fold byte-identical to the batch merge.
+
+    :meth:`fold_lost` records a shard that exhausted crash recovery at
+    its canonical position; its contributions are simply absent and the
+    scope is surfaced in the coverage report so the degradation is
+    visible, never silent.
+    """
+
+    def __init__(self, config: ExperimentConfig, world: World) -> None:
+        self.config = config
+        self.world = world
+        self._campaigns = [plan.spec for plan in config.campaigns]
+        self._by_id = {spec.campaign_id: spec for spec in self._campaigns}
+        self._server = AdServer(self._campaigns, MatchEngine(world.lexicon),
+                                ExternalDemand(), world.ipdb,
+                                policy=NetworkPolicy())
+        self._next_impression_id = 1
+        self._store = ImpressionStore()
+        self._recorder = FlightRecorder(head=None, tail=0)
+        self._impression_offset = 0
+        self._record_offset = 0
+        # One registry absorbing every snapshot in fold order reproduces
+        # merge_snapshots() field for field.
+        self._metrics = MetricsRegistry()
+        self._aggregates: dict[str, ReportAggregate] = {}
+        self._raw_conversions: list[ConversionEvent] = []
+        self._coverage_counts = CoverageCounts()
+        self._quarantine: list[QuarantineEntry] = []
+        self._quarantine_dropped = 0
+        self._lost: list[str] = []
+        self._sums = {
+            "pageviews": 0, "prefiltered": 0, "script_blocked_publisher": 0,
+            "script_blocked_browser": 0, "connect_failures": 0, "clicks": 0,
+            "conversion_count": 0, "handshake_failures": 0,
+            "malformed_messages": 0, "connections_without_hello": 0,
+            "records_committed": 0,
+        }
+        self._finalized = False
+
+    def fold(self, output: ShardOutput) -> None:
+        """Absorb one shard output (must arrive in canonical plan order)."""
+        if self._finalized:
+            raise RuntimeError("cannot fold into a finalized merge")
+        for impression in output.impressions:
+            # Re-id globally and point back at the advertiser's original
+            # spec (shards ran against budget-scaled copies).
+            self._server.impressions.append(replace(
+                impression,
+                impression_id=self._next_impression_id,
+                campaign=self._by_id[impression.campaign.campaign_id]))
+            self._next_impression_id += 1
+        for summary in output.billing.values():
+            self._server.billing.absorb_summary(summary)
+        for campaign_id, aggregate in output.report_aggregates.items():
+            seen = self._aggregates.get(campaign_id)
+            self._aggregates[campaign_id] = aggregate if seen is None \
+                else merge_aggregates([seen, aggregate], campaign_id)
+        self._store.extend_reindexed(
+            ImpressionStore.loads_jsonl(output.store_jsonl,
+                                        source=f"shard:{output.shard.scope}"))
+        # Fold the shard flight recorder in the same canonical order the
+        # impression list and the store were merged in, rewriting each
+        # trace's shard-local ids with the same cumulative offsets that
+        # renumbering produced — a merged trace is addressable by the ids
+        # the auditor actually sees.  Per-shard retention already bounded
+        # the sets, so the merged recorder holds everything shards kept.
+        for trace in output.traces:
+            self._recorder.record(replace(
+                trace,
+                impression_id=trace.impression_id + self._impression_offset,
+                record_id=None if trace.record_id is None
+                else trace.record_id + self._record_offset))
+        self._impression_offset += len(output.impressions)
+        self._record_offset += output.records_committed
+        self._metrics.absorb(output.metrics)
+        self._raw_conversions.extend(output.conversions)
+        # Coverage folds in canonical order too; quarantine entries get
+        # their shard scope stamped in so forensics survive the merge.
+        self._coverage_counts.absorb(output.coverage)
+        self._quarantine.extend(replace(entry, shard=output.shard.scope)
+                                for entry in output.quarantine)
+        self._quarantine_dropped += output.quarantine_dropped
+        sums = self._sums
+        sums["pageviews"] += output.pageviews
+        sums["prefiltered"] += output.prefiltered
+        sums["script_blocked_publisher"] += output.script_blocked_publisher
+        sums["script_blocked_browser"] += output.script_blocked_browser
+        sums["connect_failures"] += output.connect_failures
+        sums["clicks"] += output.clicks
+        sums["conversion_count"] += output.conversion_count
+        sums["handshake_failures"] += output.handshake_failures
+        sums["malformed_messages"] += output.malformed_messages
+        sums["connections_without_hello"] += output.connections_without_hello
+        sums["records_committed"] += output.records_committed
+
+    def fold_lost(self, scope: str) -> None:
+        """Record a shard lost to crash recovery, at its canonical slot."""
+        if self._finalized:
+            raise RuntimeError("cannot fold into a finalized merge")
+        self._lost.append(scope)
+
+    def result(self) -> ExperimentResult:
+        """Finalise: enrich, seal, and assemble the experiment result."""
+        self._finalized = True
+        config, world = self.config, self.world
+        server, store = self._server, self._store
+        sums = self._sums
+        server._next_impression_id = self._next_impression_id
+        server.prefiltered_pageviews = sums["prefiltered"]
+
+        reporter = VendorReporter()
+        vendor_reports: dict[str, VendorReport] = {}
+        for spec in self._campaigns:
+            campaign_id = spec.campaign_id
+            vendor_reports[campaign_id] = reporter.build(
+                self._aggregates[campaign_id],
+                charged_eur=server.billing.charged_total(campaign_id),
+                refunded_eur=server.billing.refunded_total(campaign_id))
+
+        enricher = Enricher(world.ipdb, world.resolver,
+                            world.universe.ranking, recorder=self._recorder)
+        enricher.enrich_store(store)
+        conversions = [event.anonymized(enricher.salt)
+                       for event in self._raw_conversions]
+        # The dataset is shared by every memoised consumer from here on.
+        store.seal()
+
+        first_start = min(period.start_unix for period in config.periods) \
+            if config.periods else 0.0
+        rngs = RngFactory(config.seed)
+        network = SimulatedNetwork(SimClock(first_start),
+                                   rngs.stream("network"))
+        network.failed_connects = sums["connect_failures"]
+        collector = CollectorServer(store)
+        collector.attach(network)
+        collector.handshake_failures = sums["handshake_failures"]
+        collector.malformed_messages = sums["malformed_messages"]
+        collector.connections_without_hello = \
+            sums["connections_without_hello"]
+        collector.records_committed = sums["records_committed"]
+
+        lost = tuple(self._lost)
+        coverage = ExperimentCoverage(counts=self._coverage_counts,
+                                      quarantine=tuple(self._quarantine),
+                                      quarantine_dropped=self._quarantine_dropped,
+                                      lost_shards=lost)
+        dataset = AuditDataset(
+            store=store,
+            campaigns=dict(self._by_id),
+            vendor_reports=vendor_reports,
+            directory={publisher.domain: publisher
+                       for publisher in world.universe.publishers},
+            lexicon=world.lexicon,
+            ranking=world.universe.ranking,
+        )
+        return ExperimentResult(
+            config=config,
+            dataset=dataset,
+            server=server,
+            universe=world.universe,
+            registry=world.registry,
+            collector=collector,
+            network=network,
+            pageview_count=sums["pageviews"],
+            conversions=conversions,
+            # The merge-phase server/collector/store above run on
+            # *private* registries whose bookkeeping (lump-sum billing
+            # absorption, counter re-assignment) is an artefact of
+            # merging, not of simulation — only the shard snapshots,
+            # folded in canonical plan order, make up these metrics.
+            metrics=self._metrics.snapshot(),
+            recorder=self._recorder,
+            coverage=coverage,
+            stats={
+                "pageviews": sums["pageviews"],
+                "delivered": len(server.impressions),
+                "logged": len(store),
+                "prefiltered": server.prefiltered_pageviews,
+                "script_blocked_publisher": sums["script_blocked_publisher"],
+                "script_blocked_browser": sums["script_blocked_browser"],
+                "connect_failures": network.failed_connects,
+                "clicks": sums["clicks"],
+                "conversions": sums["conversion_count"],
+                # Present only when fault handling is in play so
+                # fault-free stats stay byte-identical to the historical
+                # output.
+                **({"lost_shards": len(lost)}
+                   if (config.faults.active or lost) else {}),
+            },
+        )
+
+
 def merge_shard_outputs(config: ExperimentConfig, world: World,
                         outputs: list[ShardOutput],
                         lost: tuple[str, ...] = ()) -> ExperimentResult:
     """Fold per-shard outputs (in canonical plan order) into one result.
 
-    All order-sensitive reductions — record re-identification, impression
-    re-numbering, float sums of charges/refunds, conversion concatenation
-    — walk *outputs* in the order :func:`plan_shards` produced, so the
-    merged result is independent of how (or where) the shards executed.
-
-    *lost* lists the scopes of shards that exhausted crash recovery;
-    their contributions are simply absent, and the scopes are surfaced in
-    the coverage report so the degradation is visible, never silent.
+    Batch convenience over :class:`ShardMerger` — the runners themselves
+    fold outputs one at a time as shards complete, which keeps at most
+    one un-absorbed output alive instead of all of them.
     """
-    campaigns = [plan.spec for plan in config.campaigns]
-    by_id = {spec.campaign_id: spec for spec in campaigns}
-
-    server = AdServer(campaigns, MatchEngine(world.lexicon),
-                      ExternalDemand(), world.ipdb, policy=NetworkPolicy())
-    next_impression_id = 1
+    merger = ShardMerger(config, world)
     for output in outputs:
-        for impression in output.impressions:
-            # Re-id globally and point back at the advertiser's original
-            # spec (shards ran against budget-scaled copies).
-            server.impressions.append(replace(
-                impression,
-                impression_id=next_impression_id,
-                campaign=by_id[impression.campaign.campaign_id]))
-            next_impression_id += 1
-    server._next_impression_id = next_impression_id
-    server.prefiltered_pageviews = sum(output.prefiltered
-                                       for output in outputs)
-    for output in outputs:
-        for summary in output.billing.values():
-            server.billing.absorb_summary(summary)
-
-    reporter = VendorReporter()
-    vendor_reports: dict[str, VendorReport] = {}
-    for spec in campaigns:
-        campaign_id = spec.campaign_id
-        merged = merge_aggregates(
-            [output.report_aggregates[campaign_id] for output in outputs],
-            campaign_id)
-        vendor_reports[campaign_id] = reporter.build(
-            merged,
-            charged_eur=server.billing.charged_total(campaign_id),
-            refunded_eur=server.billing.refunded_total(campaign_id))
-
-    store = ImpressionStore()
-    for output in outputs:
-        store.extend_reindexed(
-            ImpressionStore.loads_jsonl(output.store_jsonl,
-                                        source=f"shard:{output.shard.scope}"))
-
-    # Fold the per-shard flight recorders in the same canonical order the
-    # impression list and the store were merged in, rewriting each trace's
-    # shard-local ids with the same cumulative offsets that renumbering
-    # produced — a merged trace is addressable by the ids the auditor
-    # actually sees.  Per-shard retention already bounded the sets, so the
-    # merged recorder holds everything the shards kept.
-    recorder = FlightRecorder(head=None, tail=0)
-    impression_offset = 0
-    record_offset = 0
-    for output in outputs:
-        for trace in output.traces:
-            recorder.record(replace(
-                trace,
-                impression_id=trace.impression_id + impression_offset,
-                record_id=None if trace.record_id is None
-                else trace.record_id + record_offset))
-        impression_offset += len(output.impressions)
-        record_offset += output.records_committed
-
-    enricher = Enricher(world.ipdb, world.resolver, world.universe.ranking,
-                        recorder=recorder)
-    enricher.enrich_store(store)
-    conversions = [event.anonymized(enricher.salt)
-                   for output in outputs for event in output.conversions]
-    # The dataset is shared by every memoised consumer from here on.
-    store.seal()
-
-    first_start = min(period.start_unix for period in config.periods) \
-        if config.periods else 0.0
-    rngs = RngFactory(config.seed)
-    network = SimulatedNetwork(SimClock(first_start), rngs.stream("network"))
-    network.failed_connects = sum(output.connect_failures
-                                  for output in outputs)
-    collector = CollectorServer(store)
-    collector.attach(network)
-    collector.handshake_failures = sum(output.handshake_failures
-                                       for output in outputs)
-    collector.malformed_messages = sum(output.malformed_messages
-                                       for output in outputs)
-    collector.connections_without_hello = sum(
-        output.connections_without_hello for output in outputs)
-    collector.records_committed = sum(output.records_committed
-                                      for output in outputs)
-
-    # The merge-phase server/collector/store above run on *private*
-    # registries whose bookkeeping (lump-sum billing absorption, counter
-    # re-assignment) is an artefact of merging, not of simulation — only
-    # the shard snapshots, folded in canonical plan order, make up the
-    # experiment's metrics.
-    metrics = merge_snapshots(output.metrics for output in outputs)
-
-    # Coverage folds in the same canonical order; quarantine entries get
-    # their shard scope stamped in so forensics survive the merge.
-    coverage_counts = CoverageCounts()
-    quarantine_entries: list[QuarantineEntry] = []
-    quarantine_dropped = 0
-    for output in outputs:
-        coverage_counts.absorb(output.coverage)
-        quarantine_entries.extend(
-            replace(entry, shard=output.shard.scope)
-            for entry in output.quarantine)
-        quarantine_dropped += output.quarantine_dropped
-    coverage = ExperimentCoverage(counts=coverage_counts,
-                                  quarantine=tuple(quarantine_entries),
-                                  quarantine_dropped=quarantine_dropped,
-                                  lost_shards=tuple(lost))
-
-    pageview_count = sum(output.pageviews for output in outputs)
-    dataset = AuditDataset(
-        store=store,
-        campaigns={spec.campaign_id: spec for spec in campaigns},
-        vendor_reports=vendor_reports,
-        directory={publisher.domain: publisher
-                   for publisher in world.universe.publishers},
-        lexicon=world.lexicon,
-        ranking=world.universe.ranking,
-    )
-    return ExperimentResult(
-        config=config,
-        dataset=dataset,
-        server=server,
-        universe=world.universe,
-        registry=world.registry,
-        collector=collector,
-        network=network,
-        pageview_count=pageview_count,
-        conversions=conversions,
-        metrics=metrics,
-        recorder=recorder,
-        coverage=coverage,
-        stats={
-            "pageviews": pageview_count,
-            "delivered": len(server.impressions),
-            "logged": len(store),
-            "prefiltered": server.prefiltered_pageviews,
-            "script_blocked_publisher": sum(output.script_blocked_publisher
-                                            for output in outputs),
-            "script_blocked_browser": sum(output.script_blocked_browser
-                                          for output in outputs),
-            "connect_failures": network.failed_connects,
-            "clicks": sum(output.clicks for output in outputs),
-            "conversions": sum(output.conversion_count
-                               for output in outputs),
-            # Present only when fault handling is in play so fault-free
-            # stats stay byte-identical to the historical output.
-            **({"lost_shards": len(lost)}
-               if (config.faults.active or lost) else {}),
-        },
-    )
+        merger.fold(output)
+    for scope in lost:
+        merger.fold_lost(scope)
+    return merger.result()
 
 
 class ExperimentRunner:
@@ -672,19 +730,18 @@ class ExperimentRunner:
         """
         config = self.config
         world = build_world(config)
-        outputs: list[ShardOutput] = []
-        lost: list[str] = []
+        merger = ShardMerger(config, world)
         for shard in plan_shards(config):
             for attempt in range(DEFAULT_SHARD_RETRIES + 1):
                 try:
-                    outputs.append(run_shard(config, shard, world,
-                                             attempt=attempt))
+                    merger.fold(run_shard(config, shard, world,
+                                          attempt=attempt))
                     break
                 except ShardCrashError:
                     continue
             else:
-                lost.append(shard.scope)
-        return merge_shard_outputs(config, world, outputs, lost=tuple(lost))
+                merger.fold_lost(shard.scope)
+        return merger.result()
 
 
 @functools.lru_cache(maxsize=4)

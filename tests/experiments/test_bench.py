@@ -24,6 +24,8 @@ def minimal_run(mode="serial", jobs=1, reference=False):
         "jobs": jobs,
         "reference": reference,
         "wall_seconds": 1.5,
+        "cold_start_seconds": 0.2,
+        "warm_wall_seconds": 1.3,
         "pageviews": 100,
         "delivered": 40,
         "logged": 38,
@@ -45,11 +47,13 @@ def minimal_document():
         "platform": "linux",
         "seed": 2016,
         "scale": 0.01,
-        "jobs": 2,
+        "jobs": [1, 2],
         "shard_slices": 4,
         "runs": [minimal_run("serial"),
                  minimal_run("parallel", jobs=2),
                  minimal_run("reference-serial", reference=True)],
+        "sweep": [{"jobs": 2, "end_to_end_speedup": 1.8,
+                   "warm_speedup": 1.9}],
         "comparison": {"end_to_end_speedup": 1.4,
                        "impressions_per_second_gain": 1.4},
         "micro": {"mask_xor_64kib": {
@@ -73,7 +77,13 @@ class TestResolveScale:
 
     def test_garbage_rejected(self):
         with pytest.raises(ValueError, match="tiny"):
-            resolve_scale("huge")
+            resolve_scale("gigantic")
+
+    def test_large_presets_reach_paper_volumes(self):
+        # ``large``/``huge`` exist to hit the 10⁶–10⁷-pageview range the
+        # paper's methodology targets; keep them ordered and distinct.
+        assert SCALE_PRESETS["medium"] < SCALE_PRESETS["large"] \
+            < SCALE_PRESETS["huge"]
 
 
 class TestSchemaValidation:
@@ -97,10 +107,18 @@ class TestSchemaValidation:
         (lambda d: d.pop("runs"), "runs"),
         (lambda d: d.update(runs=[]), "runs"),
         (lambda d: d.update(scale=0.0), "scale"),
-        (lambda d: d.update(jobs=0), "jobs"),
+        (lambda d: d.update(jobs=2), "jobs"),
+        (lambda d: d.update(jobs=[]), "jobs"),
+        (lambda d: d.update(jobs=[2, 1]), "jobs"),
         (lambda d: d.pop("micro"), "micro"),
         (lambda d: d["runs"][0].update(mode="warp"), "mode"),
         (lambda d: d["runs"][0].update(wall_seconds=0.0), "wall_seconds"),
+        (lambda d: d["runs"][0].pop("cold_start_seconds"), "cold_start"),
+        (lambda d: d["runs"][0].update(warm_wall_seconds=0.0), "warm_wall"),
+        (lambda d: d["sweep"][0].update(jobs=8), "matching parallel"),
+        (lambda d: d["sweep"][0].update(warm_speedup=0.0), "warm_speedup"),
+        (lambda d: d["runs"].append(minimal_run("parallel", jobs=2)),
+         "distinct jobs"),
         (lambda d: d["runs"][0].update(pageviews=-1), "pageviews"),
         (lambda d: d["runs"][0].update(pageviews=True), "pageviews"),
         (lambda d: d["runs"][0].pop("stage_wall_seconds"), "stage"),
@@ -138,8 +156,14 @@ class TestSchemaValidation:
     def test_comparison_without_reference_run_rejected(self):
         document = minimal_document()
         document["runs"] = [minimal_run("serial")]
+        del document["sweep"]
         with pytest.raises(BenchSchemaError, match="reference-serial"):
             validate_bench_document(document)
+
+    def test_sweep_is_optional(self):
+        document = minimal_document()
+        del document["sweep"]
+        validate_bench_document(document)
 
     def test_write_bench_roundtrips(self, tmp_path):
         path = write_bench(minimal_document(), tmp_path / "BENCH.json")
@@ -161,25 +185,47 @@ class TestProbesAndDocument:
         row = run_probe(seed=2016, scale=0.004, jobs=1)
         document = minimal_document()
         document["runs"] = [row]
+        document["jobs"] = [1]
         document["scale"] = 0.004
         del document["comparison"]
+        del document["sweep"]
         validate_bench_document(document)
         assert row["mode"] == "serial"
         assert row["pageviews"] > 0
+        assert row["cold_start_seconds"] >= 0.0
+        assert row["warm_wall_seconds"] > 0.0
+        assert row["wall_seconds"] == pytest.approx(
+            row["cold_start_seconds"] + row["warm_wall_seconds"])
         assert "shard.wall_seconds" in row["stage_wall_seconds"]
 
     def test_reference_probe_must_be_serial(self):
         with pytest.raises(ValueError):
             run_probe(seed=2016, scale=0.004, jobs=2, reference=True)
 
+    def test_normalize_jobs(self):
+        assert bench.normalize_jobs(2) == (1, 2)
+        assert bench.normalize_jobs([4, 2, 1, 2]) == (1, 2, 4)
+        with pytest.raises(ValueError):
+            bench.normalize_jobs([])
+        with pytest.raises(ValueError):
+            bench.normalize_jobs([0])
+        with pytest.raises(ValueError):
+            bench.normalize_jobs([True])
+
     def test_run_bench_builds_valid_document(self):
         messages = []
         document = bench.run_bench(
-            seed=2016, scale=0.004, jobs=2, include_baseline=True,
+            seed=2016, scale=0.004, jobs=[1, 2, 4], include_baseline=True,
             subprocess_probes=False, progress=messages.append)
         validate_bench_document(document)
         modes = [run["mode"] for run in document["runs"]]
-        assert modes == ["serial", "parallel", "reference-serial"]
+        assert modes == ["serial", "parallel", "parallel",
+                         "reference-serial"]
+        assert document["jobs"] == [1, 2, 4]
+        assert [entry["jobs"] for entry in document["sweep"]] == [2, 4]
+        for entry in document["sweep"]:
+            assert entry["end_to_end_speedup"] > 0
+            assert entry["warm_speedup"] > 0
         assert document["comparison"]["end_to_end_speedup"] > 0
         assert document["micro"]["mask_xor_64kib"]["speedup"] > 1.0
         assert messages  # progress callback was exercised

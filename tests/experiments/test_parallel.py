@@ -6,6 +6,8 @@ runner's merged result is byte-for-byte identical to the serial runner's
 for any worker count.
 """
 
+import dataclasses
+
 import pytest
 
 from repro.collector.store import StoreSealedError
@@ -138,6 +140,160 @@ class TestParallelEquivalence:
     def test_jobs_must_be_positive(self, small_config):
         with pytest.raises(ValueError):
             ParallelExperimentRunner(small_config, jobs=0)
+
+
+class TestJobsSweepEquivalence:
+    """The ``--jobs`` sweep contract at the ``small`` bench preset.
+
+    ``shard_slices=5`` gives 25 shards — divisible by neither 2 nor 4 —
+    so every worker count leaves a ragged final wave and completion
+    order differs run to run; the exports must not care.
+    """
+
+    @pytest.fixture(scope="class")
+    def sweep_config(self):
+        from repro.experiments.bench import SCALE_PRESETS
+
+        config = dataclasses.replace(
+            paper_experiment(seed=2016, scale=SCALE_PRESETS["small"]),
+            shard_slices=5)
+        shard_count = len(plan_shards(config))
+        assert shard_count % 2 != 0 and shard_count % 4 != 0
+        return config
+
+    @pytest.fixture(scope="class")
+    def sweep_results(self, sweep_config):
+        return {jobs: ParallelExperimentRunner(sweep_config, jobs=jobs).run()
+                for jobs in (1, 2, 4)}
+
+    def test_stores_byte_identical(self, sweep_results):
+        serial = sweep_results[1].dataset.store.dumps_jsonl()
+        for jobs in (2, 4):
+            assert sweep_results[jobs].dataset.store.dumps_jsonl() == serial
+
+    def test_metrics_byte_identical(self, sweep_results):
+        serial = sweep_results[1].metrics.sim_only().to_json()
+        for jobs in (2, 4):
+            assert sweep_results[jobs].metrics.sim_only().to_json() == serial
+
+    def test_trace_exports_byte_identical(self, sweep_results):
+        from repro.obs.traceio import dumps_chrome_trace, dumps_trace_jsonl
+
+        serial = sweep_results[1].recorder.traces()
+        assert len(serial) > 0
+        for jobs in (2, 4):
+            traces = sweep_results[jobs].recorder.traces()
+            assert dumps_chrome_trace(traces) == dumps_chrome_trace(serial)
+            assert dumps_trace_jsonl(traces) == dumps_trace_jsonl(serial)
+
+    def test_coverage_exports_byte_identical(self, sweep_results):
+        from repro.audit.coverage import coverage_to_json
+
+        serial = coverage_to_json(sweep_results[1].coverage)
+        for jobs in (2, 4):
+            assert coverage_to_json(sweep_results[jobs].coverage) == serial
+
+    def test_stats_and_reports_identical(self, sweep_results):
+        for jobs in (2, 4):
+            assert sweep_results[jobs].stats == sweep_results[1].stats
+            assert sweep_results[jobs].dataset.vendor_reports \
+                == sweep_results[1].dataset.vendor_reports
+
+
+class TestParallelMemo:
+    def test_jobs_is_not_part_of_the_memo_key(self):
+        # Regression: the memo used to key on (seed, scale, jobs), so
+        # jobs=1 and jobs=2 stored duplicate byte-identical results and
+        # missed each other's cache.  The result is a pure function of
+        # (seed, scale); jobs only changes how fast it arrives.
+        from repro.experiments.parallel import run_paper_experiment_parallel
+
+        run_paper_experiment_parallel.cache_clear()
+        try:
+            first = run_paper_experiment_parallel(seed=99, scale=0.01,
+                                                  jobs=1)
+            second = run_paper_experiment_parallel(seed=99, scale=0.01,
+                                                   jobs=2)
+            assert second is first
+        finally:
+            run_paper_experiment_parallel.cache_clear()
+
+
+class TestBrokenPoolAttemptThreading:
+    def test_fallback_resumes_at_recorded_attempt(self, monkeypatch):
+        # Regression: the BrokenProcessPool fallback used to restart
+        # unsettled shards at attempt 0, discarding the attempts a
+        # crashed-then-resubmitted shard had already accrued — re-running
+        # fault-plan crashes it had already paid for.
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.experiments import parallel as parallel_module
+        from repro.faults.plan import FaultPlan
+
+        plain = paper_experiment(seed=2016, scale=0.01)
+        scope = plan_shards(plain)[0].scope
+        config = dataclasses.replace(
+            plain, faults=FaultPlan(name="crashy", crash_scopes=(scope,),
+                                    crash_attempts=3))
+
+        real_run_shard = parallel_module.run_shard
+        attempts_seen = []
+
+        def counting_run_shard(cfg, shard, world, attempt=0):
+            if shard.scope == scope:
+                attempts_seen.append(attempt)
+            return real_run_shard(cfg, shard, world, attempt=attempt)
+
+        class FakeFuture:
+            def __init__(self, fn, args):
+                try:
+                    self._value, self._error = fn(*args), None
+                except Exception as error:
+                    self._value, self._error = None, error
+
+            def result(self):
+                if self._error is not None:
+                    raise self._error
+                return self._value
+
+        class FakePool:
+            """Runs attempt-0 submissions inline; a resubmission (any
+            attempt > 0) kills the pool, stranding the crashed shard."""
+
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc_info):
+                return False
+
+            def submit(self, fn, cfg, shard, attempt):
+                if attempt > 0:
+                    raise BrokenProcessPool("simulated worker death")
+                return FakeFuture(fn, (cfg, shard, attempt))
+
+        monkeypatch.setattr(parallel_module, "run_shard", counting_run_shard)
+        monkeypatch.setattr(parallel_module, "ProcessPoolExecutor", FakePool)
+        monkeypatch.setattr(
+            parallel_module, "wait",
+            lambda pending, return_when=None: (set(pending), set()))
+
+        result = ParallelExperimentRunner(config, jobs=2,
+                                          shard_retries=3).run()
+
+        # Attempt 0 crashed in the pool; the attempt-1 resubmission broke
+        # the pool; the inline fallback resumed at the recorded attempt 1
+        # and ran 1 (crash), 2 (crash), 3 (success) — never a second 0.
+        assert attempts_seen == [0, 1, 2, 3]
+        assert result.coverage.lost_shards == ()
+
+        baseline = ParallelExperimentRunner(config, jobs=1,
+                                            shard_retries=3).run()
+        assert result.dataset.store.dumps_jsonl() \
+            == baseline.dataset.store.dumps_jsonl()
+        assert result.stats == baseline.stats
 
 
 class TestDeterminism:
