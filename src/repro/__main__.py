@@ -14,6 +14,8 @@ Examples::
     python -m repro --faults flaky --coverage-json coverage.json
     python -m repro explain 17              # one impression's receipt
     python -m repro bench --scale tiny      # performance harness
+    python -m repro --events-jsonl events.jsonl --progress
+    python -m repro report --out report.md  # markdown run report
 """
 
 from __future__ import annotations
@@ -86,7 +88,54 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the measurement-coverage ledger "
                              "(delivered/observed/deduped/quarantined/lost "
                              "per publisher and campaign) as strict JSON")
+    add_telemetry_arguments(parser)
     return parser
+
+
+def add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    """The run-telemetry flags shared by the run and report commands."""
+    parser.add_argument("--events-jsonl", metavar="PATH", default=None,
+                        help="write the run's structured event journal as "
+                             "NDJSON (sim events are byte-identical for "
+                             "any --jobs value; wall heartbeats are not)")
+    parser.add_argument("--progress", action="store_true",
+                        help="render live progress (shards done, workers "
+                             "busy, RSS, ETA) on stderr while the "
+                             "simulation runs")
+
+
+#: Heartbeat cadence driving --progress / the wall event channel.
+_HEARTBEAT_SECONDS = 0.5
+
+
+def _telemetry_for(args):
+    """(events log, progress renderer, heartbeat interval) for a run.
+
+    All three are ``None``-ish when neither telemetry flag is set, so the
+    plain path constructs the runner exactly as before.
+    """
+    from repro.obs.events import EventLog
+    from repro.obs.progress import ProgressRenderer
+
+    if not (args.events_jsonl or args.progress):
+        return None, None, None
+    events = EventLog()
+    renderer = None
+    if args.progress:
+        renderer = ProgressRenderer()
+        events.subscribe(renderer.handle)
+    return events, renderer, _HEARTBEAT_SECONDS
+
+
+def _write_events(events, path: str) -> None:
+    from pathlib import Path
+
+    from repro.obs.events import dumps_events_jsonl
+
+    Path(path).write_text(dumps_events_jsonl(events.events()),
+                          encoding="utf-8")
+    print(f"wrote {len(events.events())} events (NDJSON) to {path}",
+          file=sys.stderr)
 
 
 def build_explain_parser() -> argparse.ArgumentParser:
@@ -104,6 +153,23 @@ def build_explain_parser() -> argparse.ArgumentParser:
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for the simulation")
     return parser
+
+
+def _dropped_trace_message(record_id: int, metrics) -> str:
+    """Why a known record has no trace: retention, with real numbers.
+
+    The merged recorder is unbounded, so a missing trace means a *shard*
+    recorder dropped it at its head/tail retention bound — the shard
+    capacity and the run-wide drop counter tell the operator exactly what
+    happened and how to size the recorder instead of a generic miss.
+    """
+    from repro.obs.trace import DEFAULT_HEAD_TRACES, DEFAULT_TAIL_TRACES
+
+    capacity = DEFAULT_HEAD_TRACES + DEFAULT_TAIL_TRACES
+    dropped = int(metrics.counter_value("trace.dropped"))
+    return (f"record #{record_id}: trace dropped (recorder capacity "
+            f"{capacity}, {dropped} dropped); raise the recorder "
+            f"capacity or pick a record inside the head/tail window")
 
 
 def run_explain(argv: list[str]) -> int:
@@ -129,9 +195,7 @@ def run_explain(argv: list[str]) -> int:
         return 1
     trace = result.recorder.find_by_record(args.record_id)
     if trace is None:
-        print(f"record #{args.record_id} exists but its trace fell outside "
-              f"the flight recorder's head/tail retention bound; raise the "
-              f"recorder capacity or pick a lower record id",
+        print(_dropped_trace_message(args.record_id, result.metrics),
               file=sys.stderr)
         return 1
 
@@ -211,6 +275,10 @@ def build_bench_parser() -> argparse.ArgumentParser:
                         help="fault plan preset to benchmark under "
                              "(default none; e.g. flaky to measure the "
                              "retry/recovery overhead)")
+    parser.add_argument("--tracemalloc", action="store_true",
+                        help="also sample Python-allocation peaks per "
+                             "stage (slower; recorded in the per-run "
+                             "memory watermarks)")
     parser.add_argument("--profile", type=int, nargs="?", const=25,
                         default=None, metavar="N",
                         help="also cProfile the serial scenario and print "
@@ -262,6 +330,7 @@ def run_bench(argv: list[str]) -> int:
         include_baseline=not args.skip_baseline,
         subprocess_probes=not args.in_process,
         faults=args.faults,
+        tracemalloc=args.tracemalloc,
         progress=lambda message: print(message, file=sys.stderr))
     path = bench.write_bench(document, args.out)
 
@@ -309,6 +378,76 @@ def run_bench(argv: list[str]) -> int:
     return 0
 
 
+def build_report_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro report",
+        description="Run the experiment and write a self-contained "
+                    "markdown run report (statistics, coverage, timings, "
+                    "memory watermarks, event-journal summary, audit).")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="world scale, 1.0 = paper scale (default 0.05)")
+    parser.add_argument("--seed", type=int, default=2016,
+                        help="master seed (default 2016)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the simulation")
+    parser.add_argument("--faults", metavar="SPEC", default=None,
+                        help="deterministic fault plan: a preset "
+                             f"({', '.join(PRESET_NAMES)}), inline JSON, "
+                             "or a JSON file path (default none)")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="write the report to PATH instead of stdout")
+    add_telemetry_arguments(parser)
+    return parser
+
+
+def run_report(argv: list[str]) -> int:
+    """The ``report`` subcommand: one markdown document per run."""
+    from repro.experiments.report import render_run_report
+    from repro.obs.memwatch import MemoryWatch
+
+    args = build_report_parser().parse_args(argv)
+    if args.jobs < 1:
+        print("--jobs must be at least 1", file=sys.stderr)
+        return 2
+    try:
+        plan = FaultPlan.resolve(args.faults)
+    except (ValueError, OSError) as error:
+        print(f"--faults: {error}", file=sys.stderr)
+        return 2
+    print(f"Reporting on the 8-campaign study (seed={args.seed}, "
+          f"scale={args.scale}, jobs={args.jobs}) ...", file=sys.stderr)
+    events, renderer, heartbeat = _telemetry_for(args)
+    result = ParallelExperimentRunner(
+        paper_experiment(seed=args.seed, scale=args.scale, faults=plan),
+        jobs=args.jobs, events=events, heartbeat_interval=heartbeat).run()
+    if renderer is not None:
+        renderer.close()
+
+    # The audit runs outside the runner's stages; sample it here so the
+    # report's memory table covers the full command, not just the run.
+    audit_watch = MemoryWatch()
+    with audit_watch.stage("audit"):
+        audit = full_audit(result.dataset).render()
+    extra_memory = {name: {
+        "spans": stats.spans,
+        "rss_peak_bytes": stats.rss_peak_bytes,
+        "rss_delta_bytes": stats.rss_delta_bytes,
+        "tracemalloc_peak_bytes": stats.tracemalloc_peak_bytes,
+    } for name, stats in audit_watch.stages().items()}
+    document = render_run_report(result, audit=audit,
+                                 extra_memory=extra_memory)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(document, encoding="utf-8")
+        print(f"wrote run report to {args.out}", file=sys.stderr)
+    else:
+        print(document, end="")
+    if args.events_jsonl:
+        _write_events(result.events, args.events_jsonl)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -316,6 +455,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_explain(argv[1:])
     if argv and argv[0] == "bench":
         return run_bench(argv[1:])
+    if argv and argv[0] == "report":
+        return run_report(argv[1:])
     args = build_parser().parse_args(argv)
     if args.jobs < 1:
         print("--jobs must be at least 1", file=sys.stderr)
@@ -327,9 +468,12 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     print(f"Running the 8-campaign study (seed={args.seed}, "
           f"scale={args.scale}, jobs={args.jobs}) ...", file=sys.stderr)
+    events, renderer, heartbeat = _telemetry_for(args)
     result = ParallelExperimentRunner(
         paper_experiment(seed=args.seed, scale=args.scale, faults=plan),
-        jobs=args.jobs).run()
+        jobs=args.jobs, events=events, heartbeat_interval=heartbeat).run()
+    if renderer is not None:
+        renderer.close()
     print(f"pageviews={result.stats['pageviews']} "
           f"delivered={result.stats['delivered']} "
           f"logged={result.stats['logged']}", file=sys.stderr)
@@ -406,6 +550,8 @@ def main(argv: list[str] | None = None) -> int:
             dumps_trace_jsonl(result.recorder.traces()), encoding="utf-8")
         print(f"wrote {len(result.recorder)} traces (JSONL) "
               f"to {args.trace_jsonl}", file=sys.stderr)
+    if args.events_jsonl:
+        _write_events(result.events, args.events_jsonl)
     return 0
 
 

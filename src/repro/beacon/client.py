@@ -29,6 +29,7 @@ from repro.collector.server import CollectorServer, FinalizeOutcome
 from repro.faults.inject import NULL_INJECTOR, FaultInjector
 from repro.faults.plan import RetryPolicy
 from repro.net.transport import Endpoint, SimulatedNetwork
+from repro.obs.events import NULL_EVENTS, EventLog
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.net.websocket import (
     Frame,
@@ -100,7 +101,8 @@ class BeaconClient:
                  clock: SimClock, rng: random.Random,
                  tracer: Tracer | None = None,
                  injector: FaultInjector | None = None,
-                 retry: RetryPolicy | None = None) -> None:
+                 retry: RetryPolicy | None = None,
+                 events: EventLog | None = None) -> None:
         self.network = network
         self.collector = collector
         self.clock = clock
@@ -108,6 +110,7 @@ class BeaconClient:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.injector = injector if injector is not None else NULL_INJECTOR
         self.retry = retry if retry is not None else self.injector.plan.retry
+        self.events = events if events is not None else NULL_EVENTS
 
     def _nonce(self, impression: DeliveredImpression) -> str:
         """Stable per-impression delivery nonce (the dedup key)."""
@@ -173,6 +176,9 @@ class BeaconClient:
                 tracer.event("beacon.retry", at=attempt.failed_at,
                              attempt=attempts, backoff_seconds=backoff,
                              reason=status.value)
+                self.events.emit("beacon.retry", at=attempt.failed_at,
+                                 attempt=attempts, backoff_seconds=backoff,
+                                 reason=status.value)
                 attempt_time = attempt.failed_at + backoff
                 continue
             if (status is DeliveryStatus.DELIVERED and not duplicated
@@ -184,6 +190,8 @@ class BeaconClient:
                            + self.injector.jitter(policy.jitter))
                 tracer.event("beacon.redeliver", at=attempt.failed_at,
                              backoff_seconds=backoff)
+                self.events.emit("beacon.redeliver", at=attempt.failed_at,
+                                 backoff_seconds=backoff)
                 attempt_time = attempt.failed_at + backoff
                 continue
             break

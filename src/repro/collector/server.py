@@ -39,6 +39,7 @@ from repro.net.websocket import (
     make_handshake_response,
     parse_handshake_request,
 )
+from repro.obs.events import NULL_EVENTS, EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.timing import wall_timer
 from repro.obs.trace import NULL_TRACER, Tracer
@@ -101,13 +102,15 @@ class CollectorServer:
                  endpoint: Endpoint | None = None,
                  metrics: MetricsRegistry | None = None,
                  tracer: Tracer | None = None,
-                 injector: FaultInjector | None = None) -> None:
+                 injector: FaultInjector | None = None,
+                 events: EventLog | None = None) -> None:
         self.store = store
         self.endpoint = endpoint or self.DEFAULT_ENDPOINT
         self._sessions: dict[int, _Session] = {}
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.faults = injector if injector is not None else NULL_INJECTOR
+        self.events = events if events is not None else NULL_EVENTS
         self.quarantine = QuarantineLog()
         self.last_finalize = FinalizeOutcome()
         self._seen_nonces: dict[str, int] = {}
@@ -265,6 +268,9 @@ class CollectorServer:
                           reason=entry.reason,
                           dropped_bytes=dropped,
                           detail=str(error))
+        self.events.emit("frame.quarantined", at=self.tracer.now,
+                         connection=entry.connection_id,
+                         offset=entry.byte_offset, reason=entry.reason)
 
     def _handle_handshake(self, session: _Session,
                           data: bytes) -> Optional[bytes]:

@@ -39,6 +39,11 @@ from repro.experiments.config import paper_experiment
 from repro.experiments.parallel import ParallelExperimentRunner
 from repro.experiments.parallel import _world_for as _parallel_world_for
 from repro.faults.plan import FaultPlan
+from repro.obs.memwatch import (
+    TRACEMALLOC_ENV,
+    memory_watermarks,
+    tracemalloc_enabled_from_env,
+)
 from repro.obs.metrics import WALL, MetricsSnapshot
 from repro.util import hotpath
 
@@ -46,7 +51,11 @@ from repro.util import hotpath
 #: v2: per-run ``cold_start_seconds``/``warm_wall_seconds`` split, a
 #: ``--jobs`` sweep (``jobs`` is a list, multiple parallel runs, a
 #: ``sweep`` section with end-to-end and warm speedups per worker count).
-BENCH_SCHEMA = "repro-bench/2"
+#: v3: per-run ``peak_rss_self_bytes``/``peak_rss_children_bytes`` split
+#: (the collapsed max stays as ``peak_rss_bytes``), per-stage
+#: ``memory_watermarks``, and a ``tracemalloc`` flag recording whether
+#: Python-allocation peaks were sampled.
+BENCH_SCHEMA = "repro-bench/3"
 
 #: Named world scales for the common invocations.  ``tiny`` is the CI
 #: smoke size; ``large``/``huge`` reach the 10⁶–10⁷-pageview volumes the
@@ -86,16 +95,27 @@ def resolve_scale(text: str) -> float:
 # ---------------------------------------------------------------------- #
 
 
-def _peak_rss_bytes() -> int:
-    """High-water resident set of this process and its children, in bytes."""
+def _peak_rss_split() -> tuple[int, int]:
+    """High-water resident set as a ``(self, children)`` pair, in bytes.
+
+    Reported separately because the two answer different questions: SELF
+    bounds the merge/enrich side of a parallel run, CHILDREN bounds one
+    worker's shard footprint.  Collapsing them into one ``max()`` hid
+    which side actually owned the watermark.
+    """
     try:
         import resource
     except ImportError:  # non-POSIX host: report unknown as 0
-        return 0
+        return 0, 0
     factor = 1 if sys.platform == "darwin" else 1024
-    peak = max(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
-               resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
-    return int(peak) * factor
+    own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return int(own) * factor, int(children) * factor
+
+
+def _peak_rss_bytes() -> int:
+    """High-water resident set of this process and its children, in bytes."""
+    return max(_peak_rss_split())
 
 
 def _stage_wall_seconds(metrics: MetricsSnapshot) -> dict:
@@ -142,6 +162,7 @@ def run_probe(seed: int, scale: float, jobs: int = 1,
     wall_seconds = cold_start_seconds + warm_wall_seconds
     pageviews = result.stats["pageviews"]
     delivered = result.stats["delivered"]
+    rss_self, rss_children = _peak_rss_split()
     return {
         "mode": mode,
         "jobs": jobs,
@@ -155,13 +176,18 @@ def run_probe(seed: int, scale: float, jobs: int = 1,
         "logged": result.stats["logged"],
         "pageviews_per_second": pageviews / warm_wall_seconds,
         "impressions_per_second": delivered / warm_wall_seconds,
-        "peak_rss_bytes": _peak_rss_bytes(),
+        "peak_rss_bytes": max(rss_self, rss_children),
+        "peak_rss_self_bytes": rss_self,
+        "peak_rss_children_bytes": rss_children,
+        "memory_watermarks": memory_watermarks(result.metrics),
+        "tracemalloc": tracemalloc_enabled_from_env(),
         "stage_wall_seconds": _stage_wall_seconds(result.metrics),
     }
 
 
 def _probe_in_subprocess(seed: int, scale: float, jobs: int,
-                         reference: bool, faults: str = "none") -> dict:
+                         reference: bool, faults: str = "none",
+                         tracemalloc: bool = False) -> dict:
     """Run one probe in a fresh interpreter for clean wall/RSS numbers."""
     command = [sys.executable, "-m", "repro", "bench", "--probe",
                "--seed", str(seed), "--scale", repr(scale),
@@ -173,6 +199,8 @@ def _probe_in_subprocess(seed: int, scale: float, jobs: int,
     existing = env.get("PYTHONPATH", "")
     env["PYTHONPATH"] = package_root + (os.pathsep + existing
                                         if existing else "")
+    if tracemalloc:
+        env[TRACEMALLOC_ENV] = "1"
     completed = subprocess.run(command, capture_output=True, text=True,
                                env=env)
     if completed.returncode != 0:
@@ -237,7 +265,7 @@ def normalize_jobs(jobs) -> tuple[int, ...]:
 def run_bench(seed: int = 2016, scale: float = SCALE_PRESETS["small"],
               jobs=2, include_baseline: bool = True,
               subprocess_probes: bool = True, faults: str = "none",
-              progress=None) -> dict:
+              tracemalloc: bool = False, progress=None) -> dict:
     """Measure the scenario (serial, a ``--jobs`` sweep of parallel runs,
     optional reference baseline) plus the masking microbenchmark; returns
     the validated BENCH document.
@@ -248,6 +276,8 @@ def run_bench(seed: int = 2016, scale: float = SCALE_PRESETS["small"],
     ``subprocess_probes=False`` runs every probe in-process (faster, used
     by tests); the default isolates each probe in a fresh interpreter.
     ``faults`` names the fault plan every scenario probe runs under.
+    ``tracemalloc=True`` additionally samples Python-allocation peaks per
+    stage (slower; off by default so throughput numbers stay honest).
     """
     plan = FaultPlan.resolve(faults)
     jobs_values = normalize_jobs(jobs)
@@ -259,7 +289,19 @@ def run_bench(seed: int = 2016, scale: float = SCALE_PRESETS["small"],
     def probe(probe_jobs: int, reference: bool) -> dict:
         if subprocess_probes:
             return _probe_in_subprocess(seed, scale, probe_jobs, reference,
-                                        faults=faults)
+                                        faults=faults,
+                                        tracemalloc=tracemalloc)
+        if tracemalloc:
+            saved = os.environ.get(TRACEMALLOC_ENV)
+            os.environ[TRACEMALLOC_ENV] = "1"
+            try:
+                return run_probe(seed, scale, jobs=probe_jobs,
+                                 reference=reference, faults=faults)
+            finally:
+                if saved is None:
+                    os.environ.pop(TRACEMALLOC_ENV, None)
+                else:
+                    os.environ[TRACEMALLOC_ENV] = saved
         return run_probe(seed, scale, jobs=probe_jobs, reference=reference,
                          faults=faults)
 
@@ -372,10 +414,24 @@ def _check_run(run: dict, name: str) -> None:
                   f"{name}.cold_start_seconds", minimum=0.0)
     _check_number(run.get("warm_wall_seconds"),
                   f"{name}.warm_wall_seconds", minimum=0.0, strict=True)
-    for field in ("pageviews", "delivered", "logged", "peak_rss_bytes"):
+    for field in ("pageviews", "delivered", "logged", "peak_rss_bytes",
+                  "peak_rss_self_bytes", "peak_rss_children_bytes"):
         _check_int(run.get(field), f"{name}.{field}")
     for field in ("pageviews_per_second", "impressions_per_second"):
         _check_number(run.get(field), f"{name}.{field}", minimum=0.0)
+    _require(isinstance(run.get("tracemalloc"), bool),
+             f"{name}.tracemalloc must be a boolean")
+    watermarks = run.get("memory_watermarks")
+    _require(isinstance(watermarks, dict),
+             f"{name}.memory_watermarks must be an object")
+    for stage, fields in watermarks.items():
+        _require(isinstance(stage, str) and stage,
+                 f"{name}.memory_watermarks keys must be non-empty strings")
+        _require(isinstance(fields, dict),
+                 f"{name}.memory_watermarks[{stage!r}] must be an object")
+        for field, value in fields.items():
+            _check_number(value,
+                          f"{name}.memory_watermarks[{stage!r}].{field}")
     stages = run.get("stage_wall_seconds")
     _require(isinstance(stages, dict),
              f"{name}.stage_wall_seconds must be an object")

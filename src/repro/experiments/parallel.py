@@ -64,16 +64,20 @@ from repro.experiments.config import ExperimentConfig, paper_experiment
 from repro.experiments.runner import (
     DEFAULT_SHARD_RETRIES,
     ExperimentResult,
+    HeartbeatEmitter,
     ShardMerger,
     ShardOutput,
     ShardSpec,
     World,
     build_world,
+    emit_plan_events,
     plan_shards,
     run_shard,
 )
 from repro.experiments.wire import pack_shard_output, unpack_shard_output
 from repro.faults.plan import ShardCrashError
+from repro.obs.events import EventLog
+from repro.obs.memwatch import MemoryWatch
 
 #: Per-process world cache.  ExperimentConfig is a frozen dataclass of
 #: hashable parts, so the config itself is the key; a worker that serves
@@ -159,7 +163,9 @@ class ParallelExperimentRunner:
     """
 
     def __init__(self, config: ExperimentConfig, jobs: int = 1,
-                 shard_retries: int = DEFAULT_SHARD_RETRIES) -> None:
+                 shard_retries: int = DEFAULT_SHARD_RETRIES,
+                 events: EventLog | None = None,
+                 heartbeat_interval: float | None = None) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
         if shard_retries < 0:
@@ -167,27 +173,41 @@ class ParallelExperimentRunner:
         self.config = config
         self.jobs = jobs
         self.shard_retries = shard_retries
+        self.events = events
+        self.heartbeat_interval = heartbeat_interval
 
     def run(self) -> ExperimentResult:
         config = self.config
         shards = plan_shards(config)
+        events = self.events if self.events is not None else EventLog()
+        memwatch = MemoryWatch()
+        emit_plan_events(events, shards)
+        heartbeat = HeartbeatEmitter(self.events, self.heartbeat_interval,
+                                     shards, jobs=self.jobs)
         # Built before the pool exists: forked workers inherit it.
-        world = _world_for(config)
-        merger = ShardMerger(config, world)
+        with memwatch.stage("world_build"):
+            world = _world_for(config)
+        merger = ShardMerger(config, world, events=events, memwatch=memwatch)
         if self.jobs <= 1 or len(shards) <= 1:
-            for shard in shards:
+            done_weight = 0.0
+            for done, shard in enumerate(shards):
+                heartbeat.pulse(done, done_weight, running=1,
+                                queued=len(shards) - done - 1)
                 output = _run_recovering(config, shard, world,
                                          self.shard_retries)
                 if output is None:
-                    merger.fold_lost(shard.scope)
+                    merger.fold_lost(shard.scope, at=shard.end_unix)
                 else:
                     merger.fold(output)
+                done_weight += shard.weight
+            heartbeat.pulse(len(shards), done_weight, force=True)
         else:
-            self._run_pooled(shards, world, merger)
+            self._run_pooled(shards, world, merger, heartbeat)
         return merger.result()
 
     def _run_pooled(self, shards: list[ShardSpec], world: World,
-                    merger: ShardMerger) -> None:
+                    merger: ShardMerger,
+                    heartbeat: HeartbeatEmitter) -> None:
         """Fan shards out to a warm process pool, folding as they settle.
 
         Settled shards are buffered as packed bytes and folded into
@@ -198,20 +218,31 @@ class ParallelExperimentRunner:
         inline, each resuming from its recorded attempt.
         """
         config = self.config
+        workers = min(self.jobs, len(shards))
         submit_order = sorted(range(len(shards)),
                               key=lambda i: (-shards[i].weight, i))
         # index -> packed bytes | ShardOutput (inline fallback) | _LOST
         ready: dict[int, object] = {}
         attempts = [0] * len(shards)
         settled = [False] * len(shards)
+        settled_count = 0
+        settled_weight = 0.0
         next_fold = 0
+
+        def settle(index: int, item: object) -> None:
+            nonlocal settled_count, settled_weight
+            ready[index] = item
+            settled[index] = True
+            settled_count += 1
+            settled_weight += shards[index].weight
 
         def fold_ready() -> None:
             nonlocal next_fold
             while next_fold < len(shards) and next_fold in ready:
                 item = ready.pop(next_fold)
                 if item is _LOST:
-                    merger.fold_lost(shards[next_fold].scope)
+                    merger.fold_lost(shards[next_fold].scope,
+                                     at=shards[next_fold].end_unix)
                 elif isinstance(item, bytes):
                     merger.fold(unpack_shard_output(item, config, world))
                 else:
@@ -220,7 +251,7 @@ class ParallelExperimentRunner:
 
         try:
             with ProcessPoolExecutor(
-                    max_workers=min(self.jobs, len(shards)),
+                    max_workers=workers,
                     mp_context=_pool_context(),
                     initializer=_warm_worker,
                     initargs=(config,)) as pool:
@@ -229,12 +260,24 @@ class ParallelExperimentRunner:
                                 0): (index, 0)
                     for index in submit_order}
                 while pending:
-                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    # The timeout keyword only appears when heartbeats are
+                    # on: tests stub ``wait`` with a two-argument fake, and
+                    # the plain path should match the historical call shape.
+                    if heartbeat.enabled:
+                        done, _ = wait(pending,
+                                       timeout=heartbeat.interval,
+                                       return_when=FIRST_COMPLETED)
+                        running = min(len(pending), workers)
+                        heartbeat.pulse(settled_count, settled_weight,
+                                        running=running,
+                                        queued=len(pending) - running,
+                                        merge_buffer=len(ready))
+                    else:
+                        done, _ = wait(pending, return_when=FIRST_COMPLETED)
                     for future in done:
                         index, attempt = pending.pop(future)
                         try:
-                            ready[index] = future.result()
-                            settled[index] = True
+                            settle(index, future.result())
                         except ShardCrashError:
                             if attempt < self.shard_retries:
                                 attempts[index] = attempt + 1
@@ -243,8 +286,7 @@ class ParallelExperimentRunner:
                                     shards[index], attempt + 1)
                                 pending[retry] = (index, attempt + 1)
                             else:
-                                ready[index] = _LOST
-                                settled[index] = True
+                                settle(index, _LOST)
                     fold_ready()
         except BrokenProcessPool:
             # The pool died under us (a worker was killed hard).  Finish
@@ -255,8 +297,9 @@ class ParallelExperimentRunner:
                 output = _run_recovering(config, shards[index], world,
                                          self.shard_retries,
                                          first_attempt=attempts[index])
-                ready[index] = _LOST if output is None else output
+                settle(index, _LOST if output is None else output)
         fold_ready()
+        heartbeat.pulse(settled_count, settled_weight, force=True)
 
 
 #: Memo for :func:`run_paper_experiment_parallel`, keyed on

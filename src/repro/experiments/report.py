@@ -1,0 +1,195 @@
+"""``python -m repro report`` — a self-contained markdown run report.
+
+One document that answers "what did this run do, what did it cost, and
+can I trust it" without re-running anything: experiment parameters,
+headline delivery statistics, per-campaign vendor numbers, the coverage
+reconciliation ledger, simulation counters, per-stage wall timings and
+memory watermarks, and a summary of the structured event journal.  The
+audit report (when supplied) is embedded verbatim.
+
+Everything in the document derives from one
+:class:`~repro.experiments.runner.ExperimentResult`, so the report
+inherits the repo's determinism contract: at the same (config, seed) the
+sim-derived sections are identical however many workers produced them;
+wall-clock sections (timings, memory) are labelled as machine-dependent.
+"""
+
+from __future__ import annotations
+
+from repro.audit.coverage import ExperimentCoverage
+from repro.experiments.runner import ExperimentResult
+from repro.obs.events import Event
+from repro.obs.memwatch import memory_watermarks
+from repro.obs.metrics import SIM, WALL, MetricsSnapshot
+
+
+def _md_table(headers: list[str], rows: list[list[object]]) -> str:
+    """A GitHub-flavored markdown table (all cells stringified)."""
+    cells = [[str(cell) for cell in row] for row in rows]
+    head = "| " + " | ".join(headers) + " |"
+    rule = "| " + " | ".join("---" for _ in headers) + " |"
+    body = ["| " + " | ".join(row) + " |" for row in cells]
+    return "\n".join([head, rule, *body])
+
+
+def _mib(value: float) -> str:
+    return f"{value / (1 << 20):.1f} MiB"
+
+
+def _parameters_section(result: ExperimentResult) -> str:
+    config = result.config
+    rows = [
+        ["seed", config.seed],
+        ["scale", config.scale],
+        ["shard_slices", config.shard_slices],
+        ["campaigns", len(config.campaigns)],
+        ["flight periods", len(config.periods)],
+        ["fault plan", config.faults.name],
+    ]
+    return "## Parameters\n\n" + _md_table(["parameter", "value"], rows)
+
+
+def _stats_section(result: ExperimentResult) -> str:
+    rows = [[name, value] for name, value in sorted(result.stats.items())]
+    return "## Headline statistics\n\n" + _md_table(["statistic", "value"],
+                                                    rows)
+
+
+def _campaigns_section(result: ExperimentResult) -> str:
+    rows = []
+    for campaign_id in sorted(result.dataset.vendor_reports):
+        report = result.dataset.vendor_reports[campaign_id]
+        rows.append([campaign_id, report.total_impressions,
+                     f"{report.charged_eur:.2f}",
+                     f"{report.refunded_eur:.2f}"])
+    return ("## Vendor-reported delivery\n\n"
+            + _md_table(["campaign", "impressions", "charged (EUR)",
+                         "refunded (EUR)"], rows))
+
+
+def _coverage_section(coverage: ExperimentCoverage) -> str:
+    totals = coverage.counts.totals()
+    rows = [
+        ["delivered", totals.delivered],
+        ["observed", totals.observed],
+        ["unique", totals.unique],
+        ["duplicates", totals.duplicates],
+        ["quarantined", totals.quarantined],
+        ["lost", totals.lost],
+        ["reconciles", "yes" if totals.reconciles else "NO"],
+    ]
+    lines = ["## Coverage reconciliation", "",
+             _md_table(["ledger row", "value"], rows)]
+    if coverage.lost_shards:
+        lines += ["", "Lost shards (crash recovery exhausted): "
+                  + ", ".join(f"`{scope}`"
+                              for scope in coverage.lost_shards)]
+    if coverage.quarantine_dropped:
+        lines += ["", f"Quarantine ledger dropped "
+                  f"{coverage.quarantine_dropped} overflow entries."]
+    return "\n".join(lines)
+
+
+def _counters_section(metrics: MetricsSnapshot) -> str:
+    counters = metrics.sim_only().counters
+    if not counters:
+        return ("## Simulation counters\n\n"
+                "No sim-domain counters registered.")
+    rows = [[name, int(value) if value == int(value) else value]
+            for name, _, value in counters]
+    return ("## Simulation counters\n\n"
+            + _md_table(["counter", "value"], rows))
+
+
+def _timings_section(metrics: MetricsSnapshot) -> str:
+    histograms = metrics.restrict(WALL).histograms
+    if not histograms:
+        return ("## Stage wall timings\n\n"
+                "No wall-domain timings recorded.")
+    rows = []
+    for histogram in histograms:
+        mean = histogram.sum / histogram.total if histogram.total else 0.0
+        rows.append([histogram.name, histogram.total,
+                     f"{histogram.sum:.3f}", f"{mean:.4f}"])
+    return ("## Stage wall timings\n\n"
+            "Wall-clock: machine-dependent, excluded from the "
+            "determinism contract.\n\n"
+            + _md_table(["stage", "count", "sum (s)", "mean (s)"], rows))
+
+
+def _memory_section(metrics: MetricsSnapshot,
+                    extra_memory: dict | None = None) -> str:
+    watermarks = memory_watermarks(metrics)
+    for stage, fields in (extra_memory or {}).items():
+        watermarks.setdefault(stage, {}).update(fields)
+    if not watermarks:
+        return ("## Memory watermarks\n\n"
+                "No memory watermarks recorded.")
+    rows = []
+    for stage in sorted(watermarks):
+        fields = watermarks[stage]
+        tracemalloc_peak = fields.get("tracemalloc_peak_bytes", 0.0)
+        rows.append([
+            stage,
+            int(fields.get("spans", 0)),
+            _mib(fields.get("rss_peak_bytes", 0.0)),
+            _mib(fields.get("rss_delta_bytes", 0.0)),
+            _mib(tracemalloc_peak) if tracemalloc_peak else "off",
+        ])
+    return ("## Memory watermarks\n\n"
+            "Wall-clock domain: machine-dependent, excluded from the "
+            "determinism contract.\n\n"
+            + _md_table(["stage", "spans", "peak RSS", "RSS delta",
+                         "tracemalloc peak"], rows))
+
+
+def _events_section(events: list[Event], dropped: int) -> str:
+    if not events and not dropped:
+        return ("## Event journal\n\n"
+                "No events recorded (telemetry was off).")
+    summary: dict[tuple[str, str], int] = {}
+    for event in events:
+        key = (event.domain, event.name)
+        summary[key] = summary.get(key, 0) + 1
+    rows = [[domain, name, count]
+            for (domain, name), count in sorted(summary.items())]
+    sim_count = sum(1 for event in events if event.domain == SIM)
+    wall_count = len(events) - sim_count
+    lines = ["## Event journal", "",
+             f"{len(events)} events ({sim_count} sim, {wall_count} wall)"
+             + (f"; {dropped} dropped at shard capacity" if dropped
+                else "") + ".", "",
+             _md_table(["domain", "event", "count"], rows), "",
+             "The sim channel is deterministic in (config, seed) and "
+             "byte-identical for any worker count; the wall channel "
+             "(heartbeats) is machine-dependent and excluded from "
+             "equivalence."]
+    return "\n".join(lines)
+
+
+def render_run_report(result: ExperimentResult, audit: str | None = None,
+                      extra_memory: dict | None = None) -> str:
+    """The full markdown run report for one experiment result.
+
+    *audit* (optional) is an already-rendered audit report to embed;
+    *extra_memory* merges additional ``{stage: {field: value}}``
+    watermarks (e.g. an audit stage sampled outside the runner) into the
+    memory section.
+    """
+    sections = [
+        "# Repro run report",
+        "Independent auditing of online display advertising campaigns — "
+        "simulated reproduction run.",
+        _parameters_section(result),
+        _stats_section(result),
+        _campaigns_section(result),
+        _coverage_section(result.coverage),
+        _counters_section(result.metrics),
+        _timings_section(result.metrics),
+        _memory_section(result.metrics, extra_memory),
+        _events_section(result.events.events(), result.events.dropped),
+    ]
+    if audit is not None:
+        sections.append("## Audit report\n\n```\n" + audit.rstrip("\n")
+                        + "\n```")
+    return "\n\n".join(sections) + "\n"

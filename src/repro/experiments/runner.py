@@ -21,6 +21,7 @@ the same seed — the determinism contract the equivalence tests enforce.
 from __future__ import annotations
 
 import functools
+import time
 from dataclasses import dataclass, field, replace
 
 from repro.adnetwork.billing import CampaignBillingSummary
@@ -54,7 +55,18 @@ from repro.geo.ipdb import GeoIpDatabase
 from repro.geo.providers import ProviderRegistry
 from repro.geo.resolver import DataCenterResolver
 from repro.net.transport import SimulatedNetwork
-from repro.obs.metrics import MetricsRegistry, MetricsSnapshot, merge_snapshots
+from repro.obs.events import (
+    DEFAULT_SHARD_EVENT_CAPACITY,
+    Event,
+    EventLog,
+)
+from repro.obs.memwatch import MemoryWatch, current_rss_bytes
+from repro.obs.metrics import (
+    WALL,
+    MetricsRegistry,
+    MetricsSnapshot,
+    merge_snapshots,
+)
 from repro.obs.timing import wall_timer
 from repro.obs.trace import FlightRecorder, TraceRecord, Tracer
 from repro.taxonomy.lexicon import Lexicon, build_default_lexicon
@@ -104,6 +116,11 @@ class ExperimentResult:
     #: quarantine forensics and lost-shard list are only populated under
     #: an active fault plan.
     coverage: ExperimentCoverage = field(default_factory=ExperimentCoverage)
+    #: The run's structured event log (see :mod:`repro.obs.events`): the
+    #: sim channel is merged in canonical plan order and byte-identical
+    #: between serial and parallel runs; the wall channel carries the
+    #: runner's heartbeats and is excluded from that contract.
+    events: EventLog = field(default_factory=EventLog)
 
     def delivered(self, campaign_id: str) -> int:
         """Ground-truth impressions the network delivered for a campaign."""
@@ -320,6 +337,11 @@ class ShardOutput:
     #: Quarantined-frame forensics from the shard collector (bounded).
     quarantine: tuple[QuarantineEntry, ...] = ()
     quarantine_dropped: int = 0
+    #: The shard's sim-domain event journal (bounded per shard), in
+    #: emission order with shard-local sequence numbers; the merge
+    #: absorbs these in canonical plan order and renumbers.
+    events: tuple[Event, ...] = ()
+    events_dropped: int = 0
 
 
 def run_shard(config: ExperimentConfig, shard: ShardSpec,
@@ -353,6 +375,18 @@ def run_shard(config: ExperimentConfig, shard: ShardSpec,
 
     recorder = FlightRecorder()
     tracer = Tracer(recorder, seed=config.seed, scope=scope)
+    # The shard's sim-domain event journal.  Emission is unconditional —
+    # it draws no RNG and touches no metric, so collecting it cannot
+    # perturb any simulated byte; exports only happen on request.
+    events = EventLog(scope=scope, capacity=DEFAULT_SHARD_EVENT_CAPACITY)
+    memwatch = MemoryWatch(registry=metrics)
+    events.emit("shard.started", at=shard.start_unix, attempt=attempt)
+    if attempt > 0:
+        # A successful re-execution after injected crashes: emitted here,
+        # inside the attempt that succeeded, so the event stream is a
+        # function of the fault plan alone — identical serial or pooled.
+        events.emit("shard.recovered", at=shard.start_unix,
+                    attempts_burned=attempt)
 
     campaigns = [replace(plan.spec,
                          daily_budget_eur=plan.spec.daily_budget_eur
@@ -369,18 +403,20 @@ def run_shard(config: ExperimentConfig, shard: ShardSpec,
     if config.faults.active:
         injector = FaultInjector(config.faults,
                                  rngs.stream(f"faults/{scope}"),
-                                 metrics=metrics, tracer=tracer)
+                                 metrics=metrics, tracer=tracer,
+                                 events=events)
 
     clock = SimClock(shard.start_unix)
     network = SimulatedNetwork(clock, rngs.stream(f"network/{scope}"),
                                tracer=tracer, injector=injector)
     store = ImpressionStore(metrics=metrics, tracer=tracer)
     collector = CollectorServer(store, metrics=metrics, tracer=tracer,
-                                injector=injector)
+                                injector=injector, events=events)
     collector.attach(network)
     beacon_client = BeaconClient(network, collector, clock,
                                  rngs.stream(f"beacon-net/{scope}"),
-                                 tracer=tracer, injector=injector)
+                                 tracer=tracer, injector=injector,
+                                 events=events)
     script = BeaconScript()
     browsing = BrowsingSimulator(world.universe, world.tree)
 
@@ -408,7 +444,7 @@ def run_shard(config: ExperimentConfig, shard: ShardSpec,
     pageview_count = 0
     stream = browsing.stream(humans, bots, shard.start_unix, shard.end_unix,
                              rngs.stream(f"browse/{scope}"))
-    with shard_timer.measure():
+    with shard_timer.measure(), memwatch.stage("simulate"):
         for pageview in stream:
             pageview_count += 1
             pageview_counter.inc()
@@ -483,7 +519,79 @@ def run_shard(config: ExperimentConfig, shard: ShardSpec,
         coverage=coverage,
         quarantine=collector.quarantine.entries(),
         quarantine_dropped=collector.quarantine.dropped,
+        events=events.events(),
+        events_dropped=events.dropped,
     )
+
+
+# ---------------------------------------------------------------------- #
+# run telemetry
+# ---------------------------------------------------------------------- #
+
+
+def emit_plan_events(events: EventLog, shards: list[ShardSpec]) -> None:
+    """Journal the canonical shard plan (one sim event per shard).
+
+    Both runners call this before executing anything, so the sim channel
+    opens with the full plan in canonical order — an auditor reading the
+    NDJSON export sees what was *scheduled* before what *happened*.
+    """
+    for shard in shards:
+        events.emit("shard.planned", at=shard.start_unix, scope=shard.scope,
+                    period=shard.period_name, country=shard.country,
+                    slice=shard.slice_index, weight=shard.weight)
+
+
+class HeartbeatEmitter:
+    """Emits wall-domain ``runner.heartbeat`` events on a min interval.
+
+    Inert unless both an event log and an interval are configured, so the
+    default runners pay nothing — no clock reads, no RSS sampling.  The
+    ETA is weight-based: elapsed wall time scaled by the remaining
+    fraction of the plan's total shard weight.
+    """
+
+    def __init__(self, events: EventLog | None, interval: float | None,
+                 shards: list[ShardSpec], jobs: int = 1) -> None:
+        self.events = events
+        self.interval = interval
+        self.jobs = max(1, jobs)
+        self.total = len(shards)
+        self.total_weight = sum(shard.weight for shard in shards)
+        self._started = time.perf_counter()
+        self._last = float("-inf")
+
+    @property
+    def enabled(self) -> bool:
+        return self.events is not None and self.interval is not None
+
+    def pulse(self, done: int, done_weight: float, running: int = 0,
+              queued: int = 0, merge_buffer: int = 0,
+              force: bool = False) -> None:
+        if not self.enabled:
+            return
+        now = time.perf_counter()
+        if not force and now - self._last < self.interval:
+            return
+        self._last = now
+        elapsed = now - self._started
+        attrs = {
+            "shards_done": done,
+            "shards_total": self.total,
+            "running": running,
+            "queued": queued,
+            "merge_buffer": merge_buffer,
+            "rss_bytes": current_rss_bytes(),
+            "elapsed_seconds": elapsed,
+            "utilization": running / self.jobs,
+        }
+        if done >= self.total:
+            attrs["eta_seconds"] = 0.0
+        elif done_weight > 0 and self.total_weight > done_weight:
+            attrs["eta_seconds"] = (elapsed / done_weight
+                                    * (self.total_weight - done_weight))
+        self.events.emit("runner.heartbeat", at=elapsed, domain=WALL,
+                         **attrs)
 
 
 # ---------------------------------------------------------------------- #
@@ -513,9 +621,16 @@ class ShardMerger:
     visible, never silent.
     """
 
-    def __init__(self, config: ExperimentConfig, world: World) -> None:
+    def __init__(self, config: ExperimentConfig, world: World,
+                 events: EventLog | None = None,
+                 memwatch: MemoryWatch | None = None) -> None:
         self.config = config
         self.world = world
+        # The merge-side event log absorbs each shard's journal in fold
+        # order (renumbering seq), then appends the merge's own events —
+        # same canonical-order contract as metrics and traces.
+        self._events = events if events is not None else EventLog()
+        self._memwatch = memwatch if memwatch is not None else MemoryWatch()
         self._campaigns = [plan.spec for plan in config.campaigns]
         self._by_id = {spec.campaign_id: spec for spec in self._campaigns}
         self._server = AdServer(self._campaigns, MatchEngine(world.lexicon),
@@ -548,6 +663,16 @@ class ShardMerger:
         """Absorb one shard output (must arrive in canonical plan order)."""
         if self._finalized:
             raise RuntimeError("cannot fold into a finalized merge")
+        with self._memwatch.stage("merge"):
+            self._fold(output)
+        self._events.absorb(output.events, dropped=output.events_dropped)
+        self._events.emit("shard.merged", at=output.shard.end_unix,
+                          scope=output.shard.scope,
+                          pageviews=output.pageviews,
+                          delivered=len(output.impressions),
+                          records=output.records_committed)
+
+    def _fold(self, output: ShardOutput) -> None:
         for impression in output.impressions:
             # Re-id globally and point back at the advertiser's original
             # spec (shards ran against budget-scaled copies).
@@ -600,11 +725,12 @@ class ShardMerger:
         sums["connections_without_hello"] += output.connections_without_hello
         sums["records_committed"] += output.records_committed
 
-    def fold_lost(self, scope: str) -> None:
+    def fold_lost(self, scope: str, at: float = 0.0) -> None:
         """Record a shard lost to crash recovery, at its canonical slot."""
         if self._finalized:
             raise RuntimeError("cannot fold into a finalized merge")
         self._lost.append(scope)
+        self._events.emit("shard.lost", at=at, scope=scope)
 
     def result(self) -> ExperimentResult:
         """Finalise: enrich, seal, and assemble the experiment result."""
@@ -626,7 +752,8 @@ class ShardMerger:
 
         enricher = Enricher(world.ipdb, world.resolver,
                             world.universe.ranking, recorder=self._recorder)
-        enricher.enrich_store(store)
+        with self._memwatch.stage("enrich"):
+            enricher.enrich_store(store)
         conversions = [event.anonymized(enricher.salt)
                        for event in self._raw_conversions]
         # The dataset is shared by every memoised consumer from here on.
@@ -651,6 +778,21 @@ class ShardMerger:
                                       quarantine=tuple(self._quarantine),
                                       quarantine_dropped=self._quarantine_dropped,
                                       lost_shards=lost)
+        totals = self._coverage_counts.totals()
+        reconciled_at = max((period.end_unix for period in config.periods),
+                            default=0.0)
+        self._events.emit("coverage.reconciled", at=reconciled_at,
+                          delivered=totals.delivered,
+                          observed=totals.observed,
+                          unique=totals.unique,
+                          duplicates=totals.duplicates,
+                          quarantined=totals.quarantined,
+                          lost=totals.lost,
+                          reconciles=totals.reconciles,
+                          lost_shards=len(lost))
+        # Watermarks ride wall-domain gauges so the metrics absorb/merge
+        # machinery (gauges max-merge) gives watermark semantics for free.
+        self._memwatch.record_to(self._metrics)
         dataset = AuditDataset(
             store=store,
             campaigns=dict(self._by_id),
@@ -678,6 +820,7 @@ class ShardMerger:
             metrics=self._metrics.snapshot(),
             recorder=self._recorder,
             coverage=coverage,
+            events=self._events,
             stats={
                 "pageviews": sums["pageviews"],
                 "delivered": len(server.impressions),
@@ -715,10 +858,20 @@ def merge_shard_outputs(config: ExperimentConfig, world: World,
 
 
 class ExperimentRunner:
-    """Executes one :class:`ExperimentConfig` in-process."""
+    """Executes one :class:`ExperimentConfig` in-process.
 
-    def __init__(self, config: ExperimentConfig) -> None:
+    ``events`` (optional) collects the run's telemetry journal; when
+    ``heartbeat_interval`` is also set (seconds), wall-domain
+    ``runner.heartbeat`` events are emitted as shards complete — both
+    default off, so plain runs pay nothing.
+    """
+
+    def __init__(self, config: ExperimentConfig,
+                 events: EventLog | None = None,
+                 heartbeat_interval: float | None = None) -> None:
         self.config = config
+        self.events = events
+        self.heartbeat_interval = heartbeat_interval
 
     def run(self) -> ExperimentResult:
         """Run the whole experiment; deterministic in the config's seed.
@@ -729,9 +882,19 @@ class ExperimentRunner:
         applies, so serial and parallel agree even on lost shards.
         """
         config = self.config
-        world = build_world(config)
-        merger = ShardMerger(config, world)
-        for shard in plan_shards(config):
+        events = self.events if self.events is not None else EventLog()
+        memwatch = MemoryWatch()
+        shards = plan_shards(config)
+        emit_plan_events(events, shards)
+        heartbeat = HeartbeatEmitter(self.events, self.heartbeat_interval,
+                                     shards)
+        with memwatch.stage("world_build"):
+            world = build_world(config)
+        merger = ShardMerger(config, world, events=events, memwatch=memwatch)
+        done_weight = 0.0
+        for done, shard in enumerate(shards):
+            heartbeat.pulse(done, done_weight, running=1,
+                            queued=len(shards) - done - 1)
             for attempt in range(DEFAULT_SHARD_RETRIES + 1):
                 try:
                     merger.fold(run_shard(config, shard, world,
@@ -740,7 +903,9 @@ class ExperimentRunner:
                 except ShardCrashError:
                     continue
             else:
-                merger.fold_lost(shard.scope)
+                merger.fold_lost(shard.scope, at=shard.end_unix)
+            done_weight += shard.weight
+        heartbeat.pulse(len(shards), done_weight, force=True)
         return merger.result()
 
 

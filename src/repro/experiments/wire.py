@@ -54,7 +54,9 @@ from repro.obs.trace import SpanRecord, TraceRecord, trace_id_for
 from repro.web.browsing import Pageview
 
 #: Wire format version; unpack refuses anything it does not know.
-WIRE_VERSION = 1
+#: v2 appended the shard's telemetry journal (events, events_dropped)
+#: to the tail tuple.
+WIRE_VERSION = 2
 
 _COMPRESS_LEVEL = 6
 
@@ -311,7 +313,7 @@ def pack_shard_output(output: ShardOutput) -> bytes:
         # Small and already compact: ship these as-is.
         (output.conversions, output.billing, output.report_aggregates,
          output.metrics, output.coverage, output.quarantine,
-         output.quarantine_dropped),
+         output.quarantine_dropped, output.events, output.events_dropped),
     )
     return zlib.compress(
         pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL),
@@ -346,7 +348,7 @@ def unpack_shard_output(blob: bytes, config: ExperimentConfig,
      handshake_failures, malformed_messages, connections_without_hello,
      records_committed) = counters
     (conversions, billing, report_aggregates, metrics, coverage,
-     quarantine, quarantine_dropped) = rest
+     quarantine, quarantine_dropped, events, events_dropped) = rest
     return ShardOutput(
         shard=shard,
         store_jsonl=_unpack_store(*store),
@@ -371,4 +373,6 @@ def unpack_shard_output(blob: bytes, config: ExperimentConfig,
         coverage=coverage,
         quarantine=quarantine,
         quarantine_dropped=quarantine_dropped,
+        events=events,
+        events_dropped=events_dropped,
     )

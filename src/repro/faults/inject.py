@@ -25,6 +25,7 @@ import random
 from typing import Optional
 
 from repro.faults.plan import FaultPlan
+from repro.obs.events import NULL_EVENTS, EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
 
@@ -34,13 +35,15 @@ class FaultInjector:
 
     def __init__(self, plan: FaultPlan, rng: Optional[random.Random] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 events: EventLog | None = None) -> None:
         if plan.injects and rng is None:
             raise ValueError("an injecting fault plan needs an rng stream")
         self.plan = plan
         self.rng = rng
         self.metrics = metrics
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.events = events if events is not None else NULL_EVENTS
         self._probability = {(spec.stage, spec.kind): spec.probability
                              for spec in plan.specs}
         self._param = {(spec.stage, spec.kind): spec.param
@@ -67,6 +70,8 @@ class FaultInjector:
         self.count(f"fault.{stage}.{kind}")
         self.tracer.event("fault.injected", at=self.tracer.now,
                           stage=stage, kind=kind)
+        self.events.emit("fault.injected", at=self.tracer.now,
+                         stage=stage, kind=kind)
         return True
 
     def param(self, stage: str, kind: str, default: float = 0.0) -> float:

@@ -7,6 +7,25 @@ renderer), so every other ``repro`` package may instrument itself with
 it without creating an import cycle.
 """
 
+from repro.obs.events import (
+    DEFAULT_SHARD_EVENT_CAPACITY,
+    EVENTS_SCHEMA,
+    NULL_EVENTS,
+    Event,
+    EventLog,
+    EventSchemaError,
+    dumps_events_jsonl,
+    validate_event_dict,
+    validate_events_jsonl,
+)
+from repro.obs.memwatch import (
+    TRACEMALLOC_ENV,
+    MemoryWatch,
+    StageStats,
+    current_rss_bytes,
+    memory_watermarks,
+    tracemalloc_enabled_from_env,
+)
 from repro.obs.metrics import (
     SIM,
     WALL,
@@ -19,6 +38,7 @@ from repro.obs.metrics import (
     MetricsSnapshot,
     merge_snapshots,
 )
+from repro.obs.progress import ProgressRenderer, format_heartbeat
 from repro.obs.render import render_metrics
 from repro.obs.timing import (
     SIM_TIME_EDGES,
@@ -49,6 +69,23 @@ from repro.obs.traceio import (
 )
 
 __all__ = [
+    "DEFAULT_SHARD_EVENT_CAPACITY",
+    "EVENTS_SCHEMA",
+    "NULL_EVENTS",
+    "Event",
+    "EventLog",
+    "EventSchemaError",
+    "dumps_events_jsonl",
+    "validate_event_dict",
+    "validate_events_jsonl",
+    "TRACEMALLOC_ENV",
+    "MemoryWatch",
+    "StageStats",
+    "current_rss_bytes",
+    "memory_watermarks",
+    "tracemalloc_enabled_from_env",
+    "ProgressRenderer",
+    "format_heartbeat",
     "SIM",
     "WALL",
     "Counter",

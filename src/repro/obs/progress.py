@@ -1,0 +1,89 @@
+"""Live progress rendering for the runner's wall-domain heartbeats.
+
+The runners emit ``runner.heartbeat`` events on the event log's wall
+channel (worker utilization, queue depth, merge-buffer depth, RSS, ETA);
+this module turns that stream into a human-facing progress line.  The
+renderer is a plain event-log listener — the runner never knows whether
+anyone is watching, which keeps the telemetry layer one-directional.
+
+On a TTY the line redraws in place (carriage return, no newline); on a
+pipe it degrades to one plain line per heartbeat so logs stay readable.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.obs.events import Event
+from repro.obs.metrics import WALL
+
+#: Width of the progress bar's fill region, in characters.
+_BAR_WIDTH = 20
+
+
+def _format_eta(seconds: float) -> str:
+    if seconds < 0:
+        return "--"
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, rest = divmod(int(seconds), 60)
+    return f"{minutes}m{rest:02d}s"
+
+
+def format_heartbeat(event: Event) -> str:
+    """One heartbeat event -> one progress line (no trailing newline)."""
+    done = int(event.attr("shards_done", 0))
+    total = max(1, int(event.attr("shards_total", 1)))
+    filled = int(_BAR_WIDTH * min(done, total) / total)
+    bar = "#" * filled + "-" * (_BAR_WIDTH - filled)
+    parts = [f"[{bar}] {done}/{total} shards"]
+    running = event.attr("running")
+    if running is not None:
+        parts.append(f"{int(running)} running")
+    queued = event.attr("queued")
+    if queued:
+        parts.append(f"{int(queued)} queued")
+    buffered = event.attr("merge_buffer")
+    if buffered:
+        parts.append(f"buf {int(buffered)}")
+    rss = event.attr("rss_bytes", 0)
+    if rss:
+        parts.append(f"rss {rss / (1 << 20):.0f} MiB")
+    eta = event.attr("eta_seconds")
+    if eta is not None:
+        parts.append(f"eta {_format_eta(float(eta))}")
+    return " · ".join(parts)
+
+
+class ProgressRenderer:
+    """Renders heartbeat events as a live progress line on *stream*.
+
+    Subscribe its :meth:`handle` to an :class:`~repro.obs.events.EventLog`
+    and call :meth:`close` when the run finishes (finishes the in-place
+    line with a newline on TTYs; a no-op otherwise).
+    """
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._last_width = 0
+        self._rendered = 0
+
+    def handle(self, event: Event) -> None:
+        if event.domain != WALL or event.name != "runner.heartbeat":
+            return
+        line = format_heartbeat(event)
+        self._rendered += 1
+        if self._tty:
+            padding = " " * max(0, self._last_width - len(line))
+            self.stream.write("\r" + line + padding)
+            self._last_width = len(line)
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+    def close(self) -> None:
+        """End the in-place line (call once, after the run completes)."""
+        if self._tty and self._rendered:
+            self.stream.write("\n")
+            self.stream.flush()

@@ -32,6 +32,14 @@ def minimal_run(mode="serial", jobs=1, reference=False):
         "pageviews_per_second": 66.7,
         "impressions_per_second": 26.7,
         "peak_rss_bytes": 40 << 20,
+        "peak_rss_self_bytes": 40 << 20,
+        "peak_rss_children_bytes": 36 << 20,
+        "memory_watermarks": {
+            "simulate": {"spans": 1, "rss_peak_bytes": 30 << 20,
+                         "rss_delta_bytes": 5 << 20,
+                         "tracemalloc_peak_bytes": 0},
+        },
+        "tracemalloc": False,
         "stage_wall_seconds": {
             "shard.wall_seconds": {"count": 4, "sum_seconds": 1.2,
                                    "mean_seconds": 0.3},
@@ -122,6 +130,19 @@ class TestSchemaValidation:
         (lambda d: d["runs"][0].update(pageviews=-1), "pageviews"),
         (lambda d: d["runs"][0].update(pageviews=True), "pageviews"),
         (lambda d: d["runs"][0].pop("stage_wall_seconds"), "stage"),
+        (lambda d: d["runs"][0].pop("peak_rss_self_bytes"),
+         "peak_rss_self_bytes"),
+        (lambda d: d["runs"][0].update(peak_rss_children_bytes=-1),
+         "peak_rss_children_bytes"),
+        (lambda d: d["runs"][0].pop("memory_watermarks"),
+         "memory_watermarks"),
+        (lambda d: d["runs"][0].update(memory_watermarks={"merge": 3}),
+         "memory_watermarks"),
+        (lambda d: d["runs"][0].update(
+            memory_watermarks={"merge": {"spans": "one"}}),
+         "memory_watermarks"),
+        (lambda d: d["runs"][0].pop("tracemalloc"), "tracemalloc"),
+        (lambda d: d["runs"][0].update(tracemalloc=1), "tracemalloc"),
         (lambda d: d["micro"]["mask_xor_64kib"].update(speedup=0.0),
          "speedup"),
     ])
@@ -197,6 +218,11 @@ class TestProbesAndDocument:
         assert row["wall_seconds"] == pytest.approx(
             row["cold_start_seconds"] + row["warm_wall_seconds"])
         assert "shard.wall_seconds" in row["stage_wall_seconds"]
+        assert row["peak_rss_bytes"] == max(row["peak_rss_self_bytes"],
+                                            row["peak_rss_children_bytes"])
+        assert row["tracemalloc"] is False
+        assert {"simulate", "merge", "enrich",
+                "world_build"} <= set(row["memory_watermarks"])
 
     def test_reference_probe_must_be_serial(self):
         with pytest.raises(ValueError):

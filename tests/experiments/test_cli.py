@@ -133,3 +133,90 @@ class TestMain:
         parsed = json.loads(text)
         assert parsed["sim"]["counters"]["shard.pageviews"] > 0
         assert "collector.connection_seconds" in parsed["sim"]["histograms"]
+
+
+class TestTelemetryFlags:
+    def test_events_jsonl_writes_valid_ndjson(self, capsys, tmp_path):
+        from repro.obs.events import validate_events_jsonl
+
+        events_path = tmp_path / "events.jsonl"
+        code = main(["--scale", "0.01", "--seed", "5", "--table", "3",
+                     "--events-jsonl", str(events_path)])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "events (NDJSON)" in err
+        text = events_path.read_text()
+        validate_events_jsonl(text)   # raises on any malformed line
+        assert '"name": "shard.planned"' in text
+        assert '"name": "coverage.reconciled"' in text
+        assert '"name": "runner.heartbeat"' in text
+
+    def test_progress_renders_on_stderr(self, capsys):
+        code = main(["--scale", "0.01", "--seed", "5", "--table", "3",
+                     "--progress"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "shards" in err
+        # Captured stderr is not a TTY, so the renderer appends plain
+        # lines; the final one shows the full bar.
+        assert "[####################]" in err
+
+    def test_telemetry_off_keeps_flags_optional(self):
+        args = build_parser().parse_args([])
+        assert args.events_jsonl is None
+        assert args.progress is False
+
+
+class TestReportCommand:
+    def test_report_writes_markdown_and_events(self, capsys, tmp_path):
+        from repro.obs.events import validate_events_jsonl
+
+        report_path = tmp_path / "report.md"
+        events_path = tmp_path / "events.jsonl"
+        code = main(["report", "--scale", "0.01", "--seed", "5",
+                     "--faults", "flaky",
+                     "--out", str(report_path),
+                     "--events-jsonl", str(events_path)])
+        assert code == 0
+        text = report_path.read_text()
+        assert text.startswith("# Repro run report")
+        assert "## Coverage reconciliation" in text
+        assert "## Event journal" in text
+        assert "## Audit report" in text
+        assert "| audit |" in text   # the audit stage joins the memory table
+        validate_events_jsonl(events_path.read_text())
+
+    def test_report_to_stdout(self, capsys):
+        code = main(["report", "--scale", "0.01", "--seed", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# Repro run report" in out
+
+    def test_report_rejects_bad_faults(self, capsys):
+        code = main(["report", "--scale", "0.01", "--faults", "no-such"])
+        assert code == 2
+        assert "--faults" in capsys.readouterr().err
+
+
+class TestDroppedTraceMessage:
+    def test_names_capacity_and_drop_count(self):
+        from repro.__main__ import _dropped_trace_message
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.trace import DEFAULT_HEAD_TRACES, DEFAULT_TAIL_TRACES
+
+        registry = MetricsRegistry()
+        registry.counter("trace.dropped").inc(37)
+        message = _dropped_trace_message(123, registry.snapshot())
+        capacity = DEFAULT_HEAD_TRACES + DEFAULT_TAIL_TRACES
+        assert f"trace dropped (recorder capacity {capacity}" in message
+        assert "37 dropped" in message
+        assert "record #123" in message
+
+
+class TestBenchTracemallocFlag:
+    def test_parses_and_defaults_off(self):
+        from repro.__main__ import build_bench_parser
+
+        assert build_bench_parser().parse_args([]).tracemalloc is False
+        assert build_bench_parser().parse_args(
+            ["--tracemalloc"]).tracemalloc is True

@@ -137,6 +137,28 @@ class TestParallelEquivalence:
         parsed = json.loads(text)
         assert set(parsed) == {"sim", "wall"}
 
+    def test_sim_events_byte_identical(self, small_result, parallel_result):
+        # The event-journal contract: the sim channel is merged in
+        # canonical plan order like metrics and traces, so its NDJSON
+        # export is byte-identical whatever the worker count.
+        from repro.obs.events import dumps_events_jsonl
+
+        serial = dumps_events_jsonl(small_result.events.sim_events())
+        parallel = dumps_events_jsonl(parallel_result.events.sim_events())
+        assert len(small_result.events.sim_events()) > 0
+        assert parallel == serial
+
+    def test_event_journal_covers_the_whole_plan(self, small_result,
+                                                 small_config):
+        shard_count = len(plan_shards(small_config))
+        names = [event.name for event in small_result.events.sim_events()]
+        assert names.count("shard.planned") == shard_count
+        assert names.count("shard.started") == shard_count
+        assert names.count("shard.merged") == shard_count
+        assert names.count("coverage.reconciled") == 1
+        # Telemetry was off, so no heartbeats rode the wall channel.
+        assert small_result.events.wall_events() == ()
+
     def test_jobs_must_be_positive(self, small_config):
         with pytest.raises(ValueError):
             ParallelExperimentRunner(small_config, jobs=0)
@@ -198,6 +220,68 @@ class TestJobsSweepEquivalence:
             assert sweep_results[jobs].stats == sweep_results[1].stats
             assert sweep_results[jobs].dataset.vendor_reports \
                 == sweep_results[1].dataset.vendor_reports
+
+    def test_sim_events_byte_identical(self, sweep_results):
+        from repro.obs.events import dumps_events_jsonl, validate_events_jsonl
+
+        serial = dumps_events_jsonl(sweep_results[1].events.sim_events())
+        assert validate_events_jsonl(serial) \
+            == len(sweep_results[1].events.sim_events())
+        for jobs in (2, 4):
+            assert dumps_events_jsonl(
+                sweep_results[jobs].events.sim_events()) == serial
+
+
+class TestRunTelemetry:
+    """Opt-in heartbeats: the wall channel rides along without touching
+    the sim channel or any deterministic export."""
+
+    @pytest.fixture(scope="class")
+    def telemetry_config(self):
+        return paper_experiment(seed=2016, scale=0.01)
+
+    def test_serial_path_emits_heartbeats(self, telemetry_config):
+        from repro.obs.events import EventLog
+
+        events = EventLog()
+        result = ParallelExperimentRunner(
+            telemetry_config, jobs=1, events=events,
+            heartbeat_interval=0.0).run()
+        beats = result.events.wall_events()
+        shard_count = len(plan_shards(telemetry_config))
+        assert len(beats) == shard_count + 1  # one per shard + final
+        final = beats[-1]
+        assert final.name == "runner.heartbeat"
+        assert final.attr("shards_done") == shard_count
+        assert final.attr("shards_total") == shard_count
+        assert final.attr("eta_seconds") == 0.0
+
+    def test_pooled_path_emits_heartbeats(self, telemetry_config):
+        from repro.obs.events import EventLog
+
+        events = EventLog()
+        result = ParallelExperimentRunner(
+            telemetry_config, jobs=2, events=events,
+            heartbeat_interval=0.0).run()
+        beats = result.events.wall_events()
+        assert beats
+        final = beats[-1]
+        assert final.attr("shards_done") == len(plan_shards(telemetry_config))
+        assert final.attr("eta_seconds") == 0.0
+
+    def test_heartbeats_leave_sim_channel_untouched(self, telemetry_config):
+        from repro.obs.events import EventLog, dumps_events_jsonl
+
+        plain = ParallelExperimentRunner(telemetry_config, jobs=1).run()
+        with_telemetry = ParallelExperimentRunner(
+            telemetry_config, jobs=1, events=EventLog(),
+            heartbeat_interval=0.0).run()
+        assert dumps_events_jsonl(with_telemetry.events.sim_events()) \
+            == dumps_events_jsonl(plain.events.sim_events())
+        assert with_telemetry.dataset.store.dumps_jsonl() \
+            == plain.dataset.store.dumps_jsonl()
+        assert with_telemetry.metrics.sim_only().to_json() \
+            == plain.metrics.sim_only().to_json()
 
 
 class TestParallelMemo:

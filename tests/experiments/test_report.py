@@ -1,0 +1,68 @@
+"""Tests for the markdown run report (``experiments.report``)."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.report import _md_table, render_run_report
+from repro.obs.events import EventLog
+
+
+@pytest.fixture(scope="module")
+def report_text(small_result):
+    return render_run_report(small_result)
+
+
+class TestMdTable:
+    def test_shape(self):
+        text = _md_table(["a", "b"], [[1, "x"], [2, "y"]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "| --- | --- |"
+        assert lines[2] == "| 1 | x |"
+        assert len(lines) == 4
+
+
+class TestRenderRunReport:
+    def test_all_sections_present(self, report_text):
+        for heading in ("# Repro run report",
+                        "## Parameters",
+                        "## Headline statistics",
+                        "## Vendor-reported delivery",
+                        "## Coverage reconciliation",
+                        "## Simulation counters",
+                        "## Stage wall timings",
+                        "## Memory watermarks",
+                        "## Event journal"):
+            assert heading in report_text, heading
+
+    def test_parameters_reflect_config(self, small_result, report_text):
+        assert f"| seed | {small_result.config.seed} |" in report_text
+        assert f"| scale | {small_result.config.scale} |" in report_text
+
+    def test_coverage_reconciles(self, report_text):
+        assert "| reconciles | yes |" in report_text
+
+    def test_event_journal_summarised(self, report_text):
+        # The runner always journals the sim channel, so the report sees
+        # planned/started/merged rows plus the final reconciliation.
+        assert "| sim | shard.planned |" in report_text
+        assert "| sim | shard.merged |" in report_text
+        assert "| sim | coverage.reconciled | 1 |" in report_text
+
+    def test_audit_embedded_in_fenced_block(self, small_result):
+        text = render_run_report(small_result, audit="AUDIT BODY\n")
+        assert "## Audit report" in text
+        assert "```\nAUDIT BODY\n```" in text
+
+    def test_extra_memory_stage_merged(self, small_result):
+        extra = {"audit": {"spans": 1, "rss_peak_bytes": 64 << 20,
+                           "rss_delta_bytes": 1 << 20,
+                           "tracemalloc_peak_bytes": 0}}
+        text = render_run_report(small_result, extra_memory=extra)
+        assert "| audit | 1 | 64.0 MiB | 1.0 MiB | off |" in text
+
+    def test_empty_event_journal_message(self, small_result):
+        bare = dataclasses.replace(small_result, events=EventLog())
+        text = render_run_report(bare)
+        assert "No events recorded (telemetry was off)." in text

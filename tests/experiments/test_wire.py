@@ -61,6 +61,16 @@ class TestRoundTrip:
         assert back.metrics == out.metrics
         assert back.coverage == out.coverage
 
+    def test_events_survive(self, wire_world):
+        # The telemetry journal crosses the wire with the shard (v2).
+        config, world = wire_world
+        shard = plan_shards(config)[0]
+        out = run_shard(config, shard, world)
+        back = unpack_shard_output(pack_shard_output(out), config, world)
+        assert out.events  # at least shard.started
+        assert back.events == out.events
+        assert back.events_dropped == out.events_dropped
+
     def test_faulted_shard_round_trips(self):
         # Quarantine entries and loss accounting cross the wire too.
         from repro.faults.plan import FaultPlan

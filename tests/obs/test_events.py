@@ -1,0 +1,172 @@
+"""Tests for the structured run-telemetry event log."""
+
+import json
+
+import pytest
+
+from repro.obs.events import (
+    DEFAULT_SHARD_EVENT_CAPACITY,
+    EVENTS_SCHEMA,
+    NULL_EVENTS,
+    Event,
+    EventLog,
+    EventSchemaError,
+    dumps_events_jsonl,
+    validate_event_dict,
+    validate_events_jsonl,
+)
+from repro.obs.metrics import SIM, WALL
+
+
+class TestEvent:
+    def test_attr_lookup(self):
+        event = Event(seq=0, domain=SIM, name="shard.started", at=1.0,
+                      attrs=(("attempt", 0), ("weight", 2.5)))
+        assert event.attr("attempt") == 0
+        assert event.attr("weight") == 2.5
+        assert event.attr("missing", "fallback") == "fallback"
+
+    def test_to_dict_is_schema_stamped_and_json_safe(self):
+        event = Event(seq=3, domain=WALL, name="runner.heartbeat", at=0.5,
+                      scope="run", attrs=(("eta", float("inf")),))
+        obj = event.to_dict()
+        assert obj["schema"] == EVENTS_SCHEMA
+        assert obj["attrs"]["eta"] is None  # non-finite -> null
+        json.dumps(obj, allow_nan=False)  # strict JSON round trip
+
+
+class TestEventLog:
+    def test_emit_records_in_order(self):
+        log = EventLog(scope="february/DE/0")
+        log.emit("shard.started", at=10.0, attempt=0)
+        log.emit("shard.merged", at=20.0)
+        names = [event.name for event in log.events()]
+        assert names == ["shard.started", "shard.merged"]
+        assert [event.seq for event in log.events()] == [0, 1]
+        assert log.events()[0].scope == "february/DE/0"
+
+    def test_scope_override(self):
+        log = EventLog(scope="default")
+        event = log.emit("shard.lost", at=0.0, scope="other")
+        assert event.scope == "other"
+
+    def test_per_domain_seq_counters(self):
+        # A burst of wall heartbeats must never perturb sim numbering —
+        # that independence is what keeps the sim channel byte-identical
+        # whether or not --progress was on.
+        log = EventLog()
+        log.emit("a", at=0.0)
+        log.emit("hb", at=0.1, domain=WALL)
+        log.emit("hb", at=0.2, domain=WALL)
+        log.emit("b", at=1.0)
+        assert [e.seq for e in log.sim_events()] == [0, 1]
+        assert [e.seq for e in log.wall_events()] == [0, 1]
+
+    def test_rejects_bad_domain_name_and_attrs(self):
+        log = EventLog()
+        with pytest.raises(EventSchemaError, match="domain"):
+            log.emit("x", at=0.0, domain="cpu")
+        with pytest.raises(EventSchemaError, match="name"):
+            log.emit("", at=0.0)
+        with pytest.raises(EventSchemaError, match="scalar"):
+            log.emit("x", at=0.0, payload=[1, 2])
+
+    def test_capacity_drops_and_counts(self):
+        log = EventLog(capacity=2)
+        seen = []
+        log.subscribe(seen.append)
+        for index in range(5):
+            log.emit("e", at=float(index))
+        assert len(log) == 2
+        assert log.dropped == 3
+        # Listeners see every emission, including dropped ones: the
+        # progress renderer must not starve at the capacity bound.
+        assert len(seen) == 5
+        # seq keeps counting through drops.
+        assert seen[-1].seq == 4
+
+    def test_absorb_renumbers_per_domain(self):
+        shard_a = EventLog(scope="a")
+        shard_a.emit("shard.started", at=1.0)
+        shard_a.emit("hb", at=0.1, domain=WALL)
+        shard_b = EventLog(scope="b")
+        shard_b.emit("shard.started", at=2.0)
+        merged = EventLog()
+        merged.emit("shard.planned", at=0.0)
+        merged.absorb(shard_a.events(), dropped=shard_a.dropped)
+        merged.absorb(shard_b.events(), dropped=shard_b.dropped)
+        assert [e.seq for e in merged.sim_events()] == [0, 1, 2]
+        assert [e.scope for e in merged.sim_events()] == ["", "a", "b"]
+        assert [e.seq for e in merged.wall_events()] == [0]
+
+    def test_absorb_accumulates_dropped(self):
+        merged = EventLog()
+        merged.absorb((), dropped=7)
+        merged.absorb((), dropped=2)
+        assert merged.dropped == 9
+
+    def test_default_shard_capacity_is_bounded(self):
+        assert DEFAULT_SHARD_EVENT_CAPACITY > 0
+
+
+class TestNullEvents:
+    def test_emit_stores_nothing(self):
+        assert NULL_EVENTS.emit("anything", at=0.0, junk=object()) is None
+        assert len(NULL_EVENTS) == 0
+        NULL_EVENTS.absorb([Event(seq=0, domain=SIM, name="x", at=0.0)])
+        assert len(NULL_EVENTS) == 0
+
+    def test_subscribe_refused(self):
+        with pytest.raises(EventSchemaError):
+            NULL_EVENTS.subscribe(lambda event: None)
+
+
+class TestNdjsonExport:
+    def test_round_trip_validates(self):
+        log = EventLog(scope="s")
+        log.emit("shard.started", at=1.5, attempt=0)
+        log.emit("runner.heartbeat", at=0.2, domain=WALL, rss_bytes=123)
+        text = dumps_events_jsonl(log.events())
+        assert text.endswith("\n")
+        assert validate_events_jsonl(text) == 2
+        first = json.loads(text.splitlines()[0])
+        assert list(first) == sorted(first)  # sorted keys
+        assert validate_event_dict(first) == []
+
+    def test_empty_log_exports_empty_text(self):
+        assert dumps_events_jsonl(()) == ""
+        assert validate_events_jsonl("") == 0
+
+    def test_strict_json_refuses_nan(self):
+        log = EventLog()
+        log.emit("x", at=float("nan"))
+        text = dumps_events_jsonl(log.events())
+        assert "NaN" not in text
+        assert json.loads(text.splitlines()[0])["at"] is None
+
+    @pytest.mark.parametrize("line, match", [
+        ("not json", "not valid JSON"),
+        ("[1, 2]", "must be an object"),
+        ('{"schema": "other"}', "schema"),
+        ('{"schema": "repro-events/1", "seq": -1, "domain": "sim", '
+         '"name": "x", "at": 0, "scope": "", "attrs": {}}', "seq"),
+        ('{"schema": "repro-events/1", "seq": 0, "domain": "cpu", '
+         '"name": "x", "at": 0, "scope": "", "attrs": {}}', "domain"),
+        ('{"schema": "repro-events/1", "seq": 0, "domain": "sim", '
+         '"name": "", "at": 0, "scope": "", "attrs": {}}', "name"),
+        ('{"schema": "repro-events/1", "seq": 0, "domain": "sim", '
+         '"name": "x", "at": "soon", "scope": "", "attrs": {}}', "at"),
+        ('{"schema": "repro-events/1", "seq": 0, "domain": "sim", '
+         '"name": "x", "at": 0, "scope": "", "attrs": {"k": [1]}}',
+         "attrs"),
+    ])
+    def test_validate_rejects_bad_lines(self, line, match):
+        with pytest.raises(EventSchemaError, match=match):
+            validate_events_jsonl(line + "\n")
+
+    def test_validator_names_offending_line(self):
+        log = EventLog()
+        log.emit("fine", at=0.0)
+        text = dumps_events_jsonl(log.events()) + "broken\n"
+        with pytest.raises(EventSchemaError, match="line 2"):
+            validate_events_jsonl(text)

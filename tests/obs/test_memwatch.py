@@ -1,0 +1,114 @@
+"""Tests for per-stage memory watermarks."""
+
+import pytest
+
+from repro.obs.memwatch import (
+    TRACEMALLOC_ENV,
+    MemoryWatch,
+    current_rss_bytes,
+    memory_watermarks,
+    tracemalloc_enabled_from_env,
+)
+from repro.obs.metrics import WALL, MetricsRegistry
+
+
+class TestCurrentRss:
+    def test_reports_positive_on_linux(self):
+        # /proc/self/statm exists on every platform CI runs on; the
+        # degraded 0 path is covered by the error branch, not asserted.
+        assert current_rss_bytes() >= 0
+
+
+class TestEnvFlag:
+    @pytest.mark.parametrize("value, expected", [
+        ("1", True), ("true", True), ("YES", True), (" on ", True),
+        ("", False), ("0", False), ("off", False), ("maybe", False),
+    ])
+    def test_parsing(self, value, expected, monkeypatch):
+        monkeypatch.setenv(TRACEMALLOC_ENV, value)
+        assert tracemalloc_enabled_from_env() is expected
+
+    def test_absent_means_off(self, monkeypatch):
+        monkeypatch.delenv(TRACEMALLOC_ENV, raising=False)
+        assert tracemalloc_enabled_from_env() is False
+
+
+class TestMemoryWatch:
+    def test_stage_accumulates_spans(self):
+        watch = MemoryWatch(trace=False)
+        for _ in range(3):
+            with watch.stage("merge"):
+                pass
+        stats = watch.stages()["merge"]
+        assert stats.spans == 3
+        assert stats.rss_peak_bytes >= 0
+        assert stats.tracemalloc_peak_bytes == 0
+
+    def test_registry_receives_gauges_after_each_span(self):
+        registry = MetricsRegistry()
+        watch = MemoryWatch(registry=registry, trace=False)
+        with watch.stage("simulate"):
+            pass
+        snapshot = registry.snapshot()
+        names = {name for name, domain, _ in snapshot.gauges
+                 if domain == WALL}
+        assert "mem.simulate.spans" in names
+        assert "mem.simulate.rss_peak_bytes" in names
+        assert snapshot.gauge_value("mem.simulate.spans") == 1
+
+    def test_record_to_flushes_accumulated_stages(self):
+        watch = MemoryWatch(trace=False)
+        with watch.stage("enrich"):
+            pass
+        registry = MetricsRegistry()
+        watch.record_to(registry)
+        table = memory_watermarks(registry.snapshot())
+        assert set(table) == {"enrich"}
+        assert table["enrich"]["spans"] == 1
+        assert set(table["enrich"]) == {"spans", "rss_peak_bytes",
+                                        "rss_delta_bytes",
+                                        "tracemalloc_peak_bytes"}
+
+    def test_stage_exception_still_records(self):
+        watch = MemoryWatch(trace=False)
+        with pytest.raises(RuntimeError):
+            with watch.stage("merge"):
+                raise RuntimeError("boom")
+        assert watch.stages()["merge"].spans == 1
+
+    def test_tracemalloc_peak_sampled_when_enabled(self):
+        watch = MemoryWatch(trace=True)
+        with watch.stage("simulate"):
+            blob = [bytes(64) for _ in range(2048)]
+            del blob
+        assert watch.stages()["simulate"].tracemalloc_peak_bytes > 0
+
+    def test_trace_defaults_from_env(self, monkeypatch):
+        monkeypatch.setenv(TRACEMALLOC_ENV, "1")
+        assert MemoryWatch().trace is True
+        monkeypatch.delenv(TRACEMALLOC_ENV)
+        assert MemoryWatch().trace is False
+
+
+class TestMemoryWatermarks:
+    def test_ignores_foreign_gauges(self):
+        registry = MetricsRegistry()
+        registry.gauge("mem.merge.rss_peak_bytes", domain=WALL).set(10.0)
+        registry.gauge("queue.depth", domain=WALL).set(5.0)
+        table = memory_watermarks(registry.snapshot())
+        assert set(table) == {"merge"}
+
+    def test_empty_snapshot(self):
+        assert memory_watermarks(MetricsRegistry().snapshot()) == {}
+
+    def test_watermark_merge_is_max(self):
+        # Gauges absorb as max across snapshots — exactly watermark
+        # semantics, which is why the watch rides the metrics layer.
+        worst = MetricsRegistry()
+        for peak in (10.0, 30.0, 20.0):
+            shard = MetricsRegistry()
+            shard.gauge("mem.simulate.rss_peak_bytes",
+                        domain=WALL).set(peak)
+            worst.absorb(shard.snapshot())
+        table = memory_watermarks(worst.snapshot())
+        assert table["simulate"]["rss_peak_bytes"] == 30.0

@@ -1,0 +1,89 @@
+"""Tests for the live progress renderer riding the wall event channel."""
+
+import io
+
+from repro.obs.events import EventLog
+from repro.obs.metrics import WALL
+from repro.obs.progress import ProgressRenderer, format_heartbeat
+
+
+def heartbeat(log=None, **attrs):
+    log = log if log is not None else EventLog()
+    defaults = {"shards_done": 5, "shards_total": 20, "running": 2,
+                "queued": 13, "merge_buffer": 1, "rss_bytes": 48 << 20,
+                "elapsed_seconds": 3.0, "utilization": 1.0,
+                "eta_seconds": 9.0}
+    defaults.update(attrs)
+    return log.emit("runner.heartbeat", at=3.0, domain=WALL, **defaults)
+
+
+class TestFormatHeartbeat:
+    def test_full_line(self):
+        line = format_heartbeat(heartbeat())
+        assert line.startswith("[#####---------------] 5/20 shards")
+        assert "2 running" in line
+        assert "13 queued" in line
+        assert "buf 1" in line
+        assert "rss 48 MiB" in line
+        assert "eta 9s" in line
+
+    def test_bar_fills_at_completion(self):
+        line = format_heartbeat(heartbeat(shards_done=20, queued=0,
+                                          merge_buffer=0, running=0,
+                                          eta_seconds=0.0))
+        assert line.startswith("[####################] 20/20 shards")
+        assert "queued" not in line
+        assert "buf" not in line
+
+    def test_minute_scale_eta(self):
+        assert "eta 2m05s" in format_heartbeat(heartbeat(eta_seconds=125.0))
+
+    def test_missing_eta_omitted(self):
+        log = EventLog()
+        event = log.emit("runner.heartbeat", at=0.0, domain=WALL,
+                         shards_done=0, shards_total=20)
+        assert "eta" not in format_heartbeat(event)
+
+
+class TestProgressRenderer:
+    def test_non_tty_appends_plain_lines(self):
+        stream = io.StringIO()  # not a TTY
+        renderer = ProgressRenderer(stream=stream)
+        log = EventLog()
+        log.subscribe(renderer.handle)
+        heartbeat(log)
+        heartbeat(log, shards_done=10)
+        renderer.close()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert "\r" not in stream.getvalue()
+        assert "5/20 shards" in lines[0]
+        assert "10/20 shards" in lines[1]
+
+    def test_ignores_sim_events_and_other_wall_events(self):
+        stream = io.StringIO()
+        renderer = ProgressRenderer(stream=stream)
+        log = EventLog()
+        log.subscribe(renderer.handle)
+        log.emit("shard.started", at=0.0)
+        log.emit("other.wall", at=0.0, domain=WALL)
+        renderer.close()
+        assert stream.getvalue() == ""
+
+    def test_tty_redraws_in_place_and_closes_line(self):
+        class Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        stream = Tty()
+        renderer = ProgressRenderer(stream=stream)
+        log = EventLog()
+        log.subscribe(renderer.handle)
+        heartbeat(log)
+        heartbeat(log, shards_done=10)
+        renderer.close()
+        text = stream.getvalue()
+        assert text.count("\r") == 2
+        assert text.endswith("\n")
+        # The second draw pads over the first if it was longer.
+        assert "10/20 shards" in text

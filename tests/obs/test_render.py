@@ -1,0 +1,55 @@
+"""Edge-case tests for the ``--metrics`` table renderer."""
+
+import math
+
+from repro.obs.metrics import SIM, WALL, MetricsRegistry, MetricsSnapshot
+from repro.obs.render import render_metrics
+
+
+class TestRenderMetricsEdgeCases:
+    def test_empty_snapshot_renders_placeholder(self):
+        assert render_metrics(MetricsSnapshot()) == "(no metrics recorded)"
+        assert render_metrics(
+            MetricsRegistry().snapshot()) == "(no metrics recorded)"
+
+    def test_non_finite_gauges_render_without_raising(self):
+        registry = MetricsRegistry()
+        registry.gauge("eta.seconds", domain=WALL).set(float("inf"))
+        registry.gauge("drift.seconds", domain=WALL).set(float("-inf"))
+        registry.gauge("ratio", domain=WALL).set(float("nan"))
+        text = render_metrics(registry.snapshot())
+        assert "eta.seconds" in text
+        assert "drift.seconds" in text
+        assert "ratio" in text
+
+    def test_zero_count_histogram_renders(self):
+        registry = MetricsRegistry()
+        registry.histogram("latency", edges=(0.1, 1.0), domain=SIM)
+        text = render_metrics(registry.snapshot())
+        assert "latency" in text
+        assert "overflow=0" in text
+        # The mean is omitted (not a ZeroDivisionError) for empty
+        # histograms.
+        assert "mean=" not in text
+
+    def test_alignment_stable_across_name_lengths(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a.much.longer.metric.name").inc(12345)
+        registry.gauge("g", domain=WALL).set(math.pi)
+        text = render_metrics(registry.snapshot())
+        lines = [line for line in text.splitlines() if line.strip()]
+        # Every row in one table shares one width.
+        sim_rows = [line for line in lines if line.startswith("a ")
+                    or line.startswith("a.")]
+        assert len(sim_rows) == 2
+        assert len({len(row.rstrip()) for row in sim_rows}) == 1
+        assert len({row.index("|") for row in sim_rows}) == 1
+
+    def test_mixed_domains_render_two_sections(self):
+        registry = MetricsRegistry()
+        registry.counter("sim.counter").inc()
+        registry.gauge("wall.gauge", domain=WALL).set(1.0)
+        text = render_metrics(registry.snapshot())
+        assert "Sim-domain metrics" in text
+        assert "Wall-clock metrics" in text
