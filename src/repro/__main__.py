@@ -284,6 +284,11 @@ def build_bench_parser() -> argparse.ArgumentParser:
                         help="also cProfile the serial scenario and print "
                              "the top N functions by cumulative time "
                              "(default N=25)")
+    parser.add_argument("--store-memory", action="store_true",
+                        help="only measure the impression store's memory "
+                             "(columnar vs reference bytes/impression at "
+                             "--scale) and print the JSON result; used by "
+                             "the CI memory-smoke job")
     parser.add_argument("--probe", action="store_true",
                         help=argparse.SUPPRESS)  # internal subprocess mode
     parser.add_argument("--reference", action="store_true",
@@ -310,6 +315,18 @@ def run_bench(argv: list[str]) -> int:
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
+
+    if args.store_memory:
+        # Measurement-only mode: run the scenario once, then weigh its
+        # impression store under both backends (no timing probes).
+        from repro.experiments.config import paper_experiment
+        from repro.experiments.parallel import ParallelExperimentRunner
+
+        config = paper_experiment(seed=args.seed, scale=scale)
+        result = ParallelExperimentRunner(config, jobs=1).run()
+        memory = bench.measure_store_memory(result.dataset.store)
+        print(json.dumps(memory, sort_keys=True, allow_nan=False))
+        return 0
 
     if args.probe:
         # Internal mode: one measurement in this (fresh) interpreter,

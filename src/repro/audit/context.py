@@ -144,20 +144,19 @@ class ContextAudit:
 
     def assess(self, campaign_id: str) -> ContextResult:
         """The Table 2 comparison for one campaign."""
-        records = self.dataset.records(campaign_id)
+        rows = self.dataset.select(campaign_id, "domain")
         meaningful_impressions = 0
         meaningful_domains: set[str] = set()
         observed_domains: set[str] = set()
-        for record in records:
-            domain = record.domain
+        for (domain,) in rows:
             observed_domains.add(domain)
             if self.publisher_meaningful(campaign_id, domain):
                 meaningful_impressions += 1
                 meaningful_domains.add(domain)
         report = self.dataset.vendor_reports.get(campaign_id)
         vendor_fraction = report.contextual if report else Fraction2(0, 0)
-        if records:
-            audit_fraction = Fraction2(meaningful_impressions, len(records))
+        if rows:
+            audit_fraction = Fraction2(meaningful_impressions, len(rows))
         else:
             audit_fraction = Fraction2(0, 0)
         return ContextResult(

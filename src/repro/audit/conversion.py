@@ -76,19 +76,20 @@ class ConversionAudit:
 
     def assess(self, campaign_id: str) -> ConversionResult:
         """One campaign's funnel."""
-        records = self.dataset.records(campaign_id)
+        rows = self.dataset.select(campaign_id, "clicks", "is_datacenter",
+                                   "user_key")
         events = self._by_campaign.get(campaign_id, [])
         report = self.dataset.vendor_reports.get(campaign_id)
-        clicks = sum(record.clicks for record in records)
-        dc_clicks = sum(record.clicks for record in records
-                        if record.is_datacenter)
+        clicks = sum(row_clicks for row_clicks, _, _ in rows)
+        dc_clicks = sum(row_clicks for row_clicks, is_datacenter, _ in rows
+                        if is_datacenter)
         converting_keys = {event.user_key for event in events}
         dc_conversions = sum(
-            1 for record in records
-            if record.is_datacenter and record.user_key in converting_keys)
+            1 for _, is_datacenter, user_key in rows
+            if is_datacenter and user_key in converting_keys)
         return ConversionResult(
             campaign_id=campaign_id,
-            impressions=len(records),
+            impressions=len(rows),
             clicks=clicks,
             conversions=len(events),
             revenue_eur=sum(event.value_eur for event in events),

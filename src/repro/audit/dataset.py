@@ -56,6 +56,23 @@ class AuditDataset:
             raise KeyError(f"unknown campaign: {campaign_id!r}")
         return self.store.by_campaign(campaign_id)
 
+    def select(self, campaign_id: Optional[str], *fields: str) -> list[tuple]:
+        """Column projection over one campaign's records (or all records).
+
+        The audits' bulk reads: on the columnar store backend this is
+        answered straight from the typed columns and the seal-time
+        campaign index, without materialising record views.
+        """
+        if campaign_id is not None and campaign_id not in self.campaigns:
+            raise KeyError(f"unknown campaign: {campaign_id!r}")
+        return self.store.select(campaign_id, *fields)
+
+    def record_count(self, campaign_id: str) -> int:
+        """Number of logged impressions for one campaign."""
+        if campaign_id not in self.campaigns:
+            raise KeyError(f"unknown campaign: {campaign_id!r}")
+        return self.store.count_for(campaign_id)
+
     def audit_publishers(self, campaign_id: Optional[str] = None) -> set[str]:
         """Publisher domains our methodology observed."""
         return self.store.distinct_domains(campaign_id)

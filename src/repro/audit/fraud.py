@@ -44,31 +44,31 @@ class FraudAudit:
         Requires an enriched dataset (``is_datacenter`` set); raises
         otherwise rather than silently reporting zeros.
         """
-        records = self.dataset.records(campaign_id)
+        rows = self.dataset.select(campaign_id, "record_id", "identity",
+                                   "domain", "is_datacenter")
         campaign = self.dataset.campaigns[campaign_id]
         ips: set[str] = set()
         dc_ip_set: set[str] = set()
         publishers: set[str] = set()
         dc_publishers: set[str] = set()
         dc_impressions = 0
-        for record in records:
-            if record.is_datacenter is None:
+        for record_id, identity, domain, is_datacenter in rows:
+            if is_datacenter is None:
                 raise ValueError(
-                    f"record {record.record_id} not enriched; run the "
+                    f"record {record_id} not enriched; run the "
                     "Enricher before the fraud audit")
-            identity = record.ip_token or record.ip
             ips.add(identity)
-            publishers.add(record.domain)
-            if record.is_datacenter:
+            publishers.add(domain)
+            if is_datacenter:
                 dc_ip_set.add(identity)
-                dc_publishers.add(record.domain)
+                dc_publishers.add(domain)
                 dc_impressions += 1
         report = self.dataset.vendor_reports.get(campaign_id)
         return DataCenterStats(
             campaign_id=campaign_id,
             dc_ips=Fraction2(len(dc_ip_set), len(ips)) if ips
             else Fraction2(0, 0),
-            dc_impressions=Fraction2(dc_impressions, len(records)) if records
+            dc_impressions=Fraction2(dc_impressions, len(rows)) if rows
             else Fraction2(0, 0),
             dc_publishers=Fraction2(len(dc_publishers), len(publishers))
             if publishers else Fraction2(0, 0),
@@ -85,7 +85,8 @@ class FraudAudit:
         """How many of a campaign's DC impressions each cascade stage
         caught (ablation A5's raw material)."""
         breakdown: dict[str, int] = {}
-        for record in self.dataset.records(campaign_id):
-            if record.is_datacenter:
-                breakdown[record.dc_stage] = breakdown.get(record.dc_stage, 0) + 1
+        for is_datacenter, dc_stage in self.dataset.select(
+                campaign_id, "is_datacenter", "dc_stage"):
+            if is_datacenter:
+                breakdown[dc_stage] = breakdown.get(dc_stage, 0) + 1
         return breakdown

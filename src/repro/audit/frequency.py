@@ -62,15 +62,18 @@ class FrequencyAudit:
                         else self.dataset.campaign_ids)
         points: list[UserFrequency] = []
         for current in campaign_ids:
-            grouped = self.dataset.store.by_user(current)
-            for user_key, records in grouped.items():
-                timestamps = sorted(record.timestamp for record in records)
+            grouped: dict[str, list[float]] = {}
+            for user_key, timestamp in self.dataset.select(
+                    current, "user_key", "timestamp"):
+                grouped.setdefault(user_key, []).append(timestamp)
+            for user_key, timestamps in grouped.items():
+                timestamps.sort()
                 gaps = [after - before for before, after
                         in zip(timestamps, timestamps[1:])]
                 points.append(UserFrequency(
                     user_key=user_key,
                     campaign_id=current,
-                    impressions=len(records),
+                    impressions=len(timestamps),
                     median_interarrival_seconds=median(gaps) if gaps else None,
                     min_interarrival_seconds=min(gaps) if gaps else None,
                 ))

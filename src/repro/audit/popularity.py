@@ -62,16 +62,15 @@ class PopularityAudit:
         back to a live ranking lookup otherwise; publishers the ranking
         service does not know are counted separately as unranked.
         """
-        records = self.dataset.records(campaign_id)
+        rows = self.dataset.select(campaign_id, "domain", "global_rank")
         edges = self.bucket_edges(first_edge=first_edge)
         publisher_counts = [0] * len(edges)
         impression_counts = [0] * len(edges)
         unranked_impressions = 0
         seen_domains: dict[str, int | None] = {}
-        for record in records:
-            domain = record.domain
+        for domain, record_rank in rows:
             if domain not in seen_domains:
-                rank = record.global_rank
+                rank = record_rank
                 if rank is None:
                     rank = self.dataset.ranking.rank_of(domain)
                 seen_domains[domain] = rank

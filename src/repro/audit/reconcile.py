@@ -51,7 +51,7 @@ class ReconciliationAudit:
     def assess(self, campaign_id: str) -> Discrepancies:
         """Reconcile one campaign."""
         report = self.dataset.require_report(campaign_id)
-        records = self.dataset.records(campaign_id)
+        logged = self.dataset.record_count(campaign_id)
         venn = self.brand_safety.venn(campaign_id)
         context = self.context.assess(campaign_id)
         fraud = self.fraud.assess(campaign_id)
@@ -59,7 +59,7 @@ class ReconciliationAudit:
         return Discrepancies(
             campaign_id=campaign_id,
             vendor_impressions=report.total_impressions,
-            logged_impressions=len(records),
+            logged_impressions=logged,
             publishers_unreported_by_vendor=venn.audit_only,
             publishers_unreported_fraction=venn.unreported_by_vendor,
             contextual_gap_points=(context.vendor_fraction.pct

@@ -37,22 +37,23 @@ class ViewabilityAudit:
 
     def assess(self, campaign_id: str) -> ViewabilityResult:
         """Upper-bound viewability for one campaign."""
-        records = self.dataset.records(campaign_id)
-        if not records:
+        rows = self.dataset.select(campaign_id, "exposure_seconds",
+                                   "truncated")
+        if not rows:
             return ViewabilityResult(campaign_id=campaign_id,
                                      viewable_upper_bound=Fraction2(0, 0),
                                      median_exposure_seconds=0.0,
                                      p90_exposure_seconds=0.0,
                                      truncated_records=0)
-        exposures = [record.exposure_seconds for record in records]
+        exposures = [exposure for exposure, _ in rows]
         viewable = sum(1 for exposure in exposures
                        if exposure >= self.min_exposure_seconds)
         return ViewabilityResult(
             campaign_id=campaign_id,
-            viewable_upper_bound=Fraction2(viewable, len(records)),
+            viewable_upper_bound=Fraction2(viewable, len(rows)),
             median_exposure_seconds=percentile(exposures, 50.0),
             p90_exposure_seconds=percentile(exposures, 90.0),
-            truncated_records=sum(1 for record in records if record.truncated),
+            truncated_records=sum(1 for _, truncated in rows if truncated),
         )
 
     def table(self) -> list[ViewabilityResult]:
@@ -69,21 +70,20 @@ class ViewabilityAudit:
         standard — ≥ 50 % of pixels in view for ≥ 1 s — and extrapolate it
         to the rest of the campaign as an estimate.
         """
-        records = self.dataset.records(campaign_id)
-        measurable = [record for record in records
-                      if record.pixels_in_view is not None]
+        rows = self.dataset.select(campaign_id, "exposure_seconds",
+                                   "pixels_in_view")
+        measurable = [(exposure, pixels) for exposure, pixels in rows
+                      if pixels is not None]
         mrc_viewable = sum(
-            1 for record in measurable
-            if record.pixels_in_view
-            and record.exposure_seconds >= self.min_exposure_seconds)
+            1 for exposure, pixels in measurable
+            if pixels and exposure >= self.min_exposure_seconds)
         upper = self.assess(campaign_id).viewable_upper_bound
         if measurable:
             mrc = Fraction2(mrc_viewable, len(measurable))
             # Scale the campaign-wide upper bound by the measured
             # pixels-given-exposure conditional.
-            exposed = sum(1 for record in measurable
-                          if record.exposure_seconds
-                          >= self.min_exposure_seconds)
+            exposed = sum(1 for exposure, _ in measurable
+                          if exposure >= self.min_exposure_seconds)
             conditional = (mrc_viewable / exposed) if exposed else 0.0
             extrapolated = upper.value * conditional
         else:
@@ -92,7 +92,7 @@ class ViewabilityAudit:
         return MrcEstimate(
             campaign_id=campaign_id,
             measurable_impressions=len(measurable),
-            total_impressions=len(records),
+            total_impressions=len(rows),
             mrc_viewable_on_safeframe=mrc,
             upper_bound=upper,
             extrapolated_mrc=extrapolated,

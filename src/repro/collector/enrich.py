@@ -9,8 +9,6 @@ ranking service, then replaces the raw IP with a salted token.
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from repro.collector.store import ImpressionStore
 from repro.geo.ipdb import GeoIpDatabase, IpRecord
 from repro.geo.resolver import DataCenterResolver, DcVerdict
@@ -59,26 +57,30 @@ class Enricher:
 
         Idempotent: records whose ``ip_token`` is already set are skipped
         (their raw IP is gone, so there is nothing left to resolve).
+
+        Streams over :meth:`ImpressionStore.pending_enrichment` and writes
+        the enrichment columns in place via
+        :meth:`ImpressionStore.enrich_at` — on the columnar backing this
+        never materialises a record view, let alone a replacement frozen
+        dataclass per record.
         """
         enriched = 0
-        for index, record in enumerate(store):
-            if record.ip_token:
-                continue
-            ip_record, verdict, ip_token = self._resolve_ip(record.ip)
-            rank = self.ranking.rank_of(record.domain)
-            store.replace_at(index, replace(
-                record,
+        for index, record_id, ip, domain, timestamp in \
+                store.pending_enrichment():
+            ip_record, verdict, ip_token = self._resolve_ip(ip)
+            rank = self.ranking.rank_of(domain)
+            store.enrich_at(
+                index,
                 ip_token=ip_token,
-                ip="",
                 provider=ip_record.provider if ip_record else "",
                 country=ip_record.country if ip_record else "",
                 global_rank=rank,
                 is_datacenter=verdict.is_datacenter,
                 dc_stage=verdict.stage.value,
-            ))
+            )
             if self.recorder is not None:
                 self.recorder.annotate(
-                    record.record_id, "enrich.geo", at=record.timestamp,
+                    record_id, "enrich.geo", at=timestamp,
                     country=ip_record.country if ip_record else "",
                     provider=ip_record.provider if ip_record else "",
                     datacenter=verdict.is_datacenter,

@@ -55,7 +55,11 @@ from repro.util import hotpath
 #: (the collapsed max stays as ``peak_rss_bytes``), per-stage
 #: ``memory_watermarks``, and a ``tracemalloc`` flag recording whether
 #: Python-allocation peaks were sampled.
-BENCH_SCHEMA = "repro-bench/3"
+#: v4: the serial run carries a ``store_memory`` probe (tracemalloc-
+#: measured bytes of the columnar impression store vs the row-backed
+#: reference rebuilt from the same JSONL) and its headline scalar,
+#: ``store_bytes_per_impression``.
+BENCH_SCHEMA = "repro-bench/4"
 
 #: Named world scales for the common invocations.  ``tiny`` is the CI
 #: smoke size; ``large``/``huge`` reach the 10⁶–10⁷-pageview volumes the
@@ -131,6 +135,46 @@ def _stage_wall_seconds(metrics: MetricsSnapshot) -> dict:
     return stages
 
 
+def measure_store_memory(store) -> dict:
+    """Tracemalloc-measured bytes of the store, columnar vs reference.
+
+    Serialises *store* to JSONL once, then rebuilds it under
+    ``tracemalloc`` twice — once per backend, flipping the same
+    reference-hotpath switch ``REPRO_TRACEMALLOC``-style stage sampling
+    rides on — so both numbers measure identical records on the same
+    interpreter.  The headline ratio is reference/columnar bytes per
+    impression: how much the columnar layout saves.
+    """
+    import gc
+    import tracemalloc
+
+    from repro.collector.store import ImpressionStore
+
+    text = store.dumps_jsonl()
+    impressions = len(store)
+    measured: dict[str, int] = {}
+    for label, reference in (("columnar", False), ("reference", True)):
+        with hotpath.reference_hotpaths(reference):
+            gc.collect()
+            tracemalloc.start()
+            rebuilt = ImpressionStore.loads_jsonl(text)
+            current, _ = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            del rebuilt
+        measured[label] = current
+    columnar_per = measured["columnar"] / impressions if impressions else 0.0
+    reference_per = measured["reference"] / impressions if impressions else 0.0
+    return {
+        "impressions": impressions,
+        "columnar_bytes": measured["columnar"],
+        "reference_bytes": measured["reference"],
+        "columnar_bytes_per_impression": columnar_per,
+        "reference_bytes_per_impression": reference_per,
+        "reference_ratio": (measured["reference"] / measured["columnar"]
+                            if measured["columnar"] else 0.0),
+    }
+
+
 def run_probe(seed: int, scale: float, jobs: int = 1,
               reference: bool = False, faults: str = "none") -> dict:
     """Run one scenario measurement in this process and return its row.
@@ -163,7 +207,7 @@ def run_probe(seed: int, scale: float, jobs: int = 1,
     pageviews = result.stats["pageviews"]
     delivered = result.stats["delivered"]
     rss_self, rss_children = _peak_rss_split()
-    return {
+    row = {
         "mode": mode,
         "jobs": jobs,
         "reference": reference,
@@ -183,6 +227,14 @@ def run_probe(seed: int, scale: float, jobs: int = 1,
         "tracemalloc": tracemalloc_enabled_from_env(),
         "stage_wall_seconds": _stage_wall_seconds(result.metrics),
     }
+    if mode == "serial":
+        # Measured after the timed section so the rebuild-under-
+        # tracemalloc pass cannot pollute the wall numbers above.
+        store_memory = measure_store_memory(result.dataset.store)
+        row["store_memory"] = store_memory
+        row["store_bytes_per_impression"] = \
+            store_memory["columnar_bytes_per_impression"]
+    return row
 
 
 def _probe_in_subprocess(seed: int, scale: float, jobs: int,
@@ -432,6 +484,22 @@ def _check_run(run: dict, name: str) -> None:
         for field, value in fields.items():
             _check_number(value,
                           f"{name}.memory_watermarks[{stage!r}].{field}")
+    if run.get("mode") == "serial":
+        # v4: the serial run owns the store-layout memory probe.
+        store_memory = run.get("store_memory")
+        _require(isinstance(store_memory, dict),
+                 f"{name}.store_memory must be an object")
+        _check_int(store_memory.get("impressions"),
+                   f"{name}.store_memory.impressions")
+        for field in ("columnar_bytes", "reference_bytes"):
+            _check_int(store_memory.get(field),
+                       f"{name}.store_memory.{field}")
+        for field in ("columnar_bytes_per_impression",
+                      "reference_bytes_per_impression", "reference_ratio"):
+            _check_number(store_memory.get(field),
+                          f"{name}.store_memory.{field}", minimum=0.0)
+        _check_number(run.get("store_bytes_per_impression"),
+                      f"{name}.store_bytes_per_impression", minimum=0.0)
     stages = run.get("stage_wall_seconds")
     _require(isinstance(stages, dict),
              f"{name}.stage_wall_seconds must be an object")

@@ -302,13 +302,14 @@ class ShardOutput:
     """Everything a shard contributes to the merged experiment.
 
     Designed to cross a process boundary: the impression store travels
-    as its (lossless) JSONL serialisation, billing and vendor-report
-    state as per-campaign summaries, and everything else as picklable
-    frozen dataclasses or plain counters.
+    as its raw-column payload (:meth:`ImpressionStore.export_columns` —
+    lossless, and foldable into the merged store without re-parsing),
+    billing and vendor-report state as per-campaign summaries, and
+    everything else as picklable frozen dataclasses or plain counters.
     """
 
     shard: ShardSpec
-    store_jsonl: str
+    store_columns: tuple
     impressions: list
     conversions: list[ConversionEvent]
     billing: dict[str, CampaignBillingSummary]
@@ -498,7 +499,7 @@ def run_shard(config: ExperimentConfig, shard: ShardSpec,
     }
     return ShardOutput(
         shard=shard,
-        store_jsonl=store.dumps_jsonl(),
+        store_columns=store.export_columns(),
         impressions=list(server.impressions),
         conversions=conversions,
         billing=server.billing.summaries(),
@@ -687,9 +688,7 @@ class ShardMerger:
             seen = self._aggregates.get(campaign_id)
             self._aggregates[campaign_id] = aggregate if seen is None \
                 else merge_aggregates([seen, aggregate], campaign_id)
-        self._store.extend_reindexed(
-            ImpressionStore.loads_jsonl(output.store_jsonl,
-                                        source=f"shard:{output.shard.scope}"))
+        self._store.absorb_columns(output.store_columns)
         # Fold the shard flight recorder in the same canonical order the
         # impression list and the store were merged in, rewriting each
         # trace's shard-local ids with the same cumulative offsets that

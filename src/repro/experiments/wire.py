@@ -21,8 +21,10 @@ This module packs the output column-wise instead:
   only the campaign id and publisher domain cross the wire, and
   :func:`unpack_shard_output` re-attaches the parent world's own objects
   (value-identical, and shared instead of per-shard copies);
-* the **store** crosses as parsed JSONL columns rather than JSONL text,
-  and is re-serialised byte-identically on the far side;
+* the **store** crosses as its raw column payload
+  (:meth:`ImpressionStore.export_columns`) — already ``array``-typed on
+  both sides, so the only translation is folding the store's private
+  string table into the shard-wide one (and back);
 * the packed structure is pickled once and zlib-compressed.
 
 The result is an order of magnitude smaller than ``pickle.dumps`` of the
@@ -35,7 +37,6 @@ byte-identical equivalence tests pin that end to end.
 
 from __future__ import annotations
 
-import json
 import pickle
 import zlib
 from array import array
@@ -55,8 +56,11 @@ from repro.web.browsing import Pageview
 
 #: Wire format version; unpack refuses anything it does not know.
 #: v2 appended the shard's telemetry journal (events, events_dropped)
-#: to the tail tuple.
-WIRE_VERSION = 2
+#: to the tail tuple.  v3 replaced the parsed-JSONL store section with
+#: the store's raw column payload (strings routed through the frame's
+#: interner), so the merge folds columns directly instead of re-parsing
+#: JSONL per shard.
+WIRE_VERSION = 3
 
 _COMPRESS_LEVEL = 6
 
@@ -250,31 +254,27 @@ def _unpack_impressions(packed, table, specs_by_id, publishers_by_domain):
     return impressions
 
 
-def _pack_store(store_jsonl: str):
-    """JSONL text → (field names, columns); lossless for strict JSON."""
-    fields: tuple[str, ...] = ()
-    columns: list[list] = []
-    for line_number, line in enumerate(store_jsonl.splitlines(), start=1):
-        record = json.loads(line)
-        if not fields:
-            fields = tuple(record)
-            columns = [[] for _ in fields]
-        elif tuple(record) != fields:
-            raise WireFormatError(
-                f"store record {line_number} fields diverge from the "
-                f"first record's")
-        for index, field in enumerate(fields):
-            columns[index].append(record[field])
-    return fields, columns
+def _pack_store(payload: tuple, intern: _Interner):
+    """Store column payload → wire section, strings routed via *intern*.
+
+    The payload arrives already ``array``-typed from
+    :meth:`ImpressionStore.export_columns`; the store's private string
+    table is folded into the shard-wide one so campaign ids, domains,
+    UAs etc. shared with traces and impressions cross the wire once.
+    """
+    if not isinstance(payload, tuple) or len(payload) != 23:
+        raise WireFormatError("malformed store column payload")
+    strings = payload[2]
+    refs = array("I", (intern(text) for text in strings))
+    return (payload[0], payload[1], refs) + payload[3:]
 
 
-def _unpack_store(fields, columns) -> str:
-    if not fields:
-        return ""
-    lines = []
-    for values in zip(*columns):
-        lines.append(json.dumps(dict(zip(fields, values)), sort_keys=True))
-    return "".join(line + "\n" for line in lines)
+def _unpack_store(packed, table) -> tuple:
+    if not isinstance(packed, tuple) or len(packed) != 23:
+        raise WireFormatError("malformed store column section")
+    refs = packed[2]
+    strings = tuple(table[index] for index in refs)
+    return (packed[0], packed[1], strings) + packed[3:]
 
 
 def scaled_campaign_specs(config: ExperimentConfig, shard) -> dict:
@@ -297,14 +297,14 @@ def pack_shard_output(output: ShardOutput) -> bytes:
     intern = _Interner()
     traces = _pack_traces(output.traces, intern)
     impressions = _pack_impressions(output.impressions, intern)
-    store_fields, store_columns = _pack_store(output.store_jsonl)
+    store = _pack_store(output.store_columns, intern)
     frame = (
         WIRE_VERSION,
         output.shard,
         intern.table(),
         traces,
         impressions,
-        (store_fields, store_columns),
+        store,
         (output.pageviews, output.prefiltered,
          output.script_blocked_publisher, output.script_blocked_browser,
          output.connect_failures, output.clicks, output.conversion_count,
@@ -351,7 +351,7 @@ def unpack_shard_output(blob: bytes, config: ExperimentConfig,
      quarantine, quarantine_dropped, events, events_dropped) = rest
     return ShardOutput(
         shard=shard,
-        store_jsonl=_unpack_store(*store),
+        store_columns=_unpack_store(store, table),
         impressions=_unpack_impressions(impressions, table, specs_by_id,
                                         publishers_by_domain),
         conversions=conversions,

@@ -1,5 +1,7 @@
 """Tests for repro.collector.store — the impression database."""
 
+import json
+
 import pytest
 
 from repro.collector.store import (
@@ -151,10 +153,9 @@ class TestPersistence:
         for index in range(1, 10):
             store.insert(make_record(record_id=index,
                                      exposure=float(index)))
-        filtered = ImpressionStore()
-        filtered._records = [record for record in store
-                             if record.record_id in (2, 5, 9)]
-        text = filtered.dumps_jsonl()
+        text = "\n".join(
+            line for line in store.dumps_jsonl().splitlines()
+            if json.loads(line)["record_id"] in (2, 5, 9)) + "\n"
         loaded = ImpressionStore.loads_jsonl(text)
         assert [record.record_id for record in loaded] == [2, 5, 9]
         assert loaded.next_record_id() == 10

@@ -1,0 +1,315 @@
+"""Columnar-vs-reference store equivalence and the raw-column surfaces.
+
+The columnar backing is only correct if it is *indistinguishable* from
+the row-backed reference store everywhere the repo's determinism
+contract looks: JSONL bytes, query results, counters, and the raw-column
+transfer the shard merge rides on.  These tests pin that equivalence —
+property-based over generated record populations (gapped ids, enriched
+and raw records, empty stores) plus directed tests for the new mutation
+paths (``enrich_at``, ``absorb_columns``) and their sealed-store guards.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.collector.store import (
+    ImpressionRecord,
+    StoreSealedError,
+    _ColumnarStore,
+    _RowStore,
+)
+from repro.obs.metrics import MetricsRegistry
+
+BACKENDS = (_ColumnarStore, _RowStore)
+
+domains = st.sampled_from(["news.example", "blog.example", "video.example"])
+campaign_ids = st.sampled_from(["c-sports", "c-travel", "c-tech"])
+user_agents = st.sampled_from(["UA-firefox", "UA-chrome", "UA-bot"])
+ips = st.sampled_from(["10.0.0.1", "10.0.0.2", "192.0.2.7"])
+
+raw_records = st.builds(
+    dict,
+    campaign_id=campaign_ids,
+    creative_id=st.sampled_from(["cr-1", "cr-2"]),
+    domain=domains,
+    user_agent=user_agents,
+    ip=ips,
+    timestamp=st.floats(min_value=1_000.0, max_value=2_000.0,
+                        allow_nan=False),
+    exposure_seconds=st.floats(min_value=0.0, max_value=30.0,
+                               allow_nan=False),
+    mouse_moves=st.integers(min_value=0, max_value=50),
+    clicks=st.integers(min_value=0, max_value=3),
+    truncated=st.booleans(),
+    pixels_in_view=st.sampled_from([None, True, False]),
+)
+
+enrichments = st.builds(
+    dict,
+    ip_token=st.sampled_from(["tok-aaaa", "tok-bbbb", "tok-cccc"]),
+    provider=st.sampled_from(["ISP One", "Hosting Co", ""]),
+    country=st.sampled_from(["ES", "DE", ""]),
+    global_rank=st.sampled_from([None, 1, 500, 1_000_000]),
+    is_datacenter=st.sampled_from([None, True, False]),
+    dc_stage=st.sampled_from(["", "maxmind", "denylist"]),
+)
+
+populations = st.lists(
+    st.tuples(raw_records, st.none() | enrichments),
+    min_size=0, max_size=20)
+
+
+def build_record(record_id, fields, enrichment):
+    values = dict(fields)
+    domain = values.pop("domain")
+    values["url"] = f"https://{domain}/page-{record_id}"
+    if enrichment is not None:
+        values.update(enrichment)
+        values["ip"] = ""
+    return ImpressionRecord(record_id=record_id, **values)
+
+
+def fill(store, population):
+    for fields, enrichment in population:
+        store.insert(build_record(store.next_record_id(), fields,
+                                  enrichment))
+    return store
+
+
+class TestBackendEquivalence:
+    @given(populations)
+    @settings(max_examples=60, deadline=None)
+    def test_dumps_jsonl_byte_identical(self, population):
+        columnar = fill(_ColumnarStore(), population)
+        reference = fill(_RowStore(), population)
+        assert columnar.dumps_jsonl() == reference.dumps_jsonl()
+
+    @given(populations)
+    @settings(max_examples=40, deadline=None)
+    def test_queries_agree(self, population):
+        columnar = fill(_ColumnarStore(), population)
+        reference = fill(_RowStore(), population)
+        assert columnar.campaigns() == reference.campaigns()
+        assert columnar.distinct_domains() == reference.distinct_domains()
+        for campaign_id in reference.campaigns() + ["c-unknown"]:
+            assert columnar.by_campaign(campaign_id) \
+                == reference.by_campaign(campaign_id)
+            assert columnar.count_for(campaign_id) \
+                == reference.count_for(campaign_id)
+            assert columnar.distinct_domains(campaign_id) \
+                == reference.distinct_domains(campaign_id)
+        assert columnar.by_user() == reference.by_user()
+        # ... and identically once sealed (indexes replace the scans).
+        columnar.seal()
+        assert columnar.campaigns() == reference.campaigns()
+        assert columnar.by_user() == reference.by_user()
+        for campaign_id in reference.campaigns() + ["c-unknown"]:
+            assert columnar.by_campaign(campaign_id) \
+                == reference.by_campaign(campaign_id)
+            assert columnar.distinct_domains(campaign_id) \
+                == reference.distinct_domains(campaign_id)
+            assert columnar.by_user(campaign_id) \
+                == reference.by_user(campaign_id)
+
+    @given(populations)
+    @settings(max_examples=40, deadline=None)
+    def test_select_agrees(self, population):
+        fields = ("record_id", "campaign_id", "domain", "user_key",
+                  "identity", "exposure_seconds", "truncated",
+                  "pixels_in_view", "global_rank", "is_datacenter",
+                  "clicks", "timestamp", "dc_stage")
+        columnar = fill(_ColumnarStore(), population)
+        reference = fill(_RowStore(), population)
+        assert columnar.select(None, *fields) \
+            == reference.select(None, *fields)
+        for campaign_id in reference.campaigns():
+            assert columnar.select(campaign_id, *fields) \
+                == reference.select(campaign_id, *fields)
+
+    @given(populations)
+    @settings(max_examples=40, deadline=None)
+    def test_column_payload_crosses_backends(self, population):
+        # A payload exported by either backend absorbs into either
+        # backend, and every combination serialises identically.
+        dumps = []
+        for exporter in BACKENDS:
+            payload = fill(exporter(), population).export_columns()
+            for absorber in BACKENDS:
+                target = absorber()
+                target.absorb_columns(payload)
+                dumps.append(target.dumps_jsonl())
+        assert len(set(dumps)) == 1
+
+    @given(populations)
+    @settings(max_examples=30, deadline=None)
+    def test_jsonl_round_trip_with_gapped_ids(self, population):
+        import json
+
+        for backend in BACKENDS:
+            store = fill(backend(), population)
+            # Keep every third record: ids become non-contiguous.
+            kept = [line for index, line
+                    in enumerate(store.dumps_jsonl().splitlines())
+                    if index % 3 == 0]
+            text = "".join(line + "\n" for line in kept)
+            loaded = backend.loads_jsonl(text)
+            assert loaded.dumps_jsonl() == text
+            assert [record.record_id for record in loaded] \
+                == [json.loads(line)["record_id"] for line in kept]
+
+
+class TestSelectValidation:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_unknown_field_rejected(self, backend):
+        store = backend()
+        with pytest.raises(ValueError, match="unknown select field"):
+            store.select(None, "no_such_column")
+
+
+def make_record(record_id, campaign="c-sports", **overrides):
+    values = dict(
+        record_id=record_id, campaign_id=campaign, creative_id="cr-1",
+        url=f"https://news.example/p{record_id}", user_agent="UA",
+        ip="10.0.0.1", timestamp=1_000.0 + record_id,
+        exposure_seconds=2.0)
+    values.update(overrides)
+    return ImpressionRecord(**values)
+
+
+class TestSealedMutation:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_all_write_paths_raise_once_sealed(self, backend):
+        store = backend()
+        store.insert(make_record(1))
+        payload = store.export_columns()
+        store.seal()
+        with pytest.raises(StoreSealedError):
+            store.insert(make_record(2))
+        with pytest.raises(StoreSealedError):
+            store.replace_at(0, make_record(1, clicks=1))
+        with pytest.raises(StoreSealedError):
+            store.extend_reindexed([make_record(2)])
+        with pytest.raises(StoreSealedError):
+            store.absorb_columns(payload)
+        with pytest.raises(StoreSealedError):
+            store.enrich_at(0, ip_token="tok", provider="", country="",
+                            global_rank=None, is_datacenter=False,
+                            dc_stage="")
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_enrich_at_writes_columns_in_place(self, backend):
+        store = backend()
+        store.insert(make_record(1))
+        store.enrich_at(0, ip_token="tok-1234", provider="ISP",
+                        country="ES", global_rank=42, is_datacenter=True,
+                        dc_stage="maxmind")
+        record = next(iter(store))
+        assert record.ip == ""
+        assert record.ip_token == "tok-1234"
+        assert record.provider == "ISP"
+        assert record.global_rank == 42
+        assert record.is_datacenter is True
+        assert record.dc_stage == "maxmind"
+
+
+class _SpyTracer:
+    """Captures (name, attrs) of every event the store emits."""
+
+    now = 0.0
+
+    def __init__(self):
+        self.events = []
+
+    def event(self, name, at, **attrs):
+        self.events.append((name, attrs))
+
+
+class TestCounterAccounting:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_loads_jsonl_counts_appends(self, backend):
+        # Regression: loads_jsonl used to bypass the appends counter, so
+        # a loaded store reported 0 appends no matter its size.
+        source = backend()
+        for record_id in (1, 2, 3):
+            source.insert(make_record(record_id))
+        loaded = backend.loads_jsonl(source.dumps_jsonl())
+        assert loaded._appends.value == 3
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_extend_reindexed_counts_batch(self, backend):
+        tracer = _SpyTracer()
+        store = backend(metrics=MetricsRegistry(), tracer=tracer)
+        added = store.extend_reindexed(
+            [make_record(7), make_record(9)])
+        assert added == 2
+        assert store._appends.value == 2
+        assert [record.record_id for record in store] == [1, 2]
+        # One summarising store.extend event, no per-record store.commit.
+        names = [name for name, _ in tracer.events]
+        assert names == ["store.extend"]
+        _, attrs = tracer.events[0]
+        assert attrs["records"] == 2
+        assert attrs["first_record"] == 1
+        assert attrs["last_record"] == 2
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_absorb_columns_emits_one_extend_event(self, backend):
+        source = backend()
+        source.insert(make_record(1))
+        source.insert(make_record(2))
+        tracer = _SpyTracer()
+        store = backend(metrics=MetricsRegistry(), tracer=tracer)
+        store.absorb_columns(source.export_columns())
+        assert [name for name, _ in tracer.events] == ["store.extend"]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_insert_still_emits_per_record_commit(self, backend):
+        # The per-record store.commit stream feeds the trace exports on
+        # the shard path; bulk accounting must not change it.
+        tracer = _SpyTracer()
+        store = backend(metrics=MetricsRegistry(), tracer=tracer)
+        store.insert(make_record(1))
+        assert [name for name, _ in tracer.events] == ["store.commit"]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_absorb_columns_matches_extend_reindexed(self, backend):
+        payload_source = backend()
+        payload_source.insert(make_record(1, campaign="c-travel"))
+        payload_source.insert(make_record(2, clicks=2))
+        payload = payload_source.export_columns()
+
+        absorbed = backend()
+        absorbed.insert(make_record(1))
+        assert absorbed.absorb_columns(payload) == 2
+
+        extended = backend()
+        extended.insert(make_record(1))
+        extended.extend_reindexed(list(payload_source))
+
+        assert absorbed.dumps_jsonl() == extended.dumps_jsonl()
+        assert absorbed.next_record_id() == extended.next_record_id() == 4
+        assert absorbed._appends.value == 3
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_absorb_rejects_malformed_payloads(self, backend):
+        store = backend()
+        with pytest.raises(ValueError, match="malformed"):
+            store.absorb_columns(("nope",))
+        good = backend().export_columns()
+        with pytest.raises(ValueError, match="version"):
+            store.absorb_columns((99,) + good[1:])
+
+
+class TestEmptyStore:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_round_trips(self, backend):
+        store = backend()
+        assert store.dumps_jsonl() == ""
+        loaded = backend.loads_jsonl("")
+        assert len(loaded) == 0
+        assert loaded.next_record_id() == 1
+        other = backend()
+        assert other.absorb_columns(store.export_columns()) == 0
+        assert other._appends.value == 0

@@ -19,7 +19,7 @@ from repro.experiments.bench import (
 
 
 def minimal_run(mode="serial", jobs=1, reference=False):
-    return {
+    row = {
         "mode": mode,
         "jobs": jobs,
         "reference": reference,
@@ -45,6 +45,17 @@ def minimal_run(mode="serial", jobs=1, reference=False):
                                    "mean_seconds": 0.3},
         },
     }
+    if mode == "serial":
+        row["store_memory"] = {
+            "impressions": 38,
+            "columnar_bytes": 4_000,
+            "reference_bytes": 20_000,
+            "columnar_bytes_per_impression": 105.3,
+            "reference_bytes_per_impression": 526.3,
+            "reference_ratio": 5.0,
+        }
+        row["store_bytes_per_impression"] = 105.3
+    return row
 
 
 def minimal_document():
@@ -143,6 +154,14 @@ class TestSchemaValidation:
          "memory_watermarks"),
         (lambda d: d["runs"][0].pop("tracemalloc"), "tracemalloc"),
         (lambda d: d["runs"][0].update(tracemalloc=1), "tracemalloc"),
+        (lambda d: d["runs"][0].pop("store_memory"), "store_memory"),
+        (lambda d: d["runs"][0].update(store_memory=7), "store_memory"),
+        (lambda d: d["runs"][0]["store_memory"].pop("columnar_bytes"),
+         "columnar_bytes"),
+        (lambda d: d["runs"][0]["store_memory"].update(reference_ratio=-1),
+         "reference_ratio"),
+        (lambda d: d["runs"][0].pop("store_bytes_per_impression"),
+         "store_bytes_per_impression"),
         (lambda d: d["micro"]["mask_xor_64kib"].update(speedup=0.0),
          "speedup"),
     ])
@@ -223,6 +242,12 @@ class TestProbesAndDocument:
         assert row["tracemalloc"] is False
         assert {"simulate", "merge", "enrich",
                 "world_build"} <= set(row["memory_watermarks"])
+        memory = row["store_memory"]
+        assert memory["impressions"] == row["logged"]
+        assert memory["columnar_bytes"] > 0
+        assert memory["reference_bytes"] > memory["columnar_bytes"]
+        assert row["store_bytes_per_impression"] == pytest.approx(
+            memory["columnar_bytes_per_impression"])
 
     def test_reference_probe_must_be_serial(self):
         with pytest.raises(ValueError):

@@ -1,8 +1,8 @@
 """Tests for the compact shard wire format (``experiments.wire``).
 
 The contract: ``unpack_shard_output(pack_shard_output(out))`` is value-
-identical to ``out`` — every field, including the byte-reproducible store
-JSONL, the trace set and the coverage ledger — while the packed blob
+identical to ``out`` — every field, including the raw store column
+payload, the trace set and the coverage ledger — while the packed blob
 stays an order of magnitude smaller than a plain ``ShardOutput`` pickle.
 A regression in either direction (lossy round-trip, or the wire format
 quietly bloating back toward whole-object pickles) fails loudly here.
@@ -42,15 +42,23 @@ class TestRoundTrip:
             back = unpack_shard_output(pack_shard_output(out), config, world)
             assert back == out
 
-    def test_store_jsonl_byte_identical(self, wire_world):
-        # The store merge consumes the shard's JSONL bytes; the wire
-        # format rebuilds them from parsed columns, so equality must be
-        # byte-level, not just structural.
+    def test_store_columns_value_identical(self, wire_world):
+        # The store merge folds the shard's raw columns; the wire format
+        # re-interns the store's string table through the frame-wide one,
+        # so the payload must come back value-identical — and a store
+        # rebuilt from it must serialise to byte-identical JSONL.
+        from repro.collector.store import ImpressionStore
+
         config, world = wire_world
         shard = plan_shards(config)[0]
         out = run_shard(config, shard, world)
         back = unpack_shard_output(pack_shard_output(out), config, world)
-        assert back.store_jsonl == out.store_jsonl
+        assert back.store_columns == out.store_columns
+        original = ImpressionStore()
+        original.absorb_columns(out.store_columns)
+        rebuilt = ImpressionStore()
+        rebuilt.absorb_columns(back.store_columns)
+        assert rebuilt.dumps_jsonl() == original.dumps_jsonl()
 
     def test_traces_and_metrics_survive(self, wire_world):
         config, world = wire_world
